@@ -1,0 +1,41 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one table/figure of the paper and emits the
+rendered rows/series both to stdout and to ``results/<name>.txt`` so the
+numbers survive the run.  ``pytest benchmarks/ --benchmark-only`` runs
+everything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered experiment output to results/ and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_svg():
+    """Write an SVG figure to results/<name>.svg."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, svg: str) -> None:
+        path = RESULTS_DIR / f"{name}.svg"
+        path.write_text(svg)
+        print(f"[figure written to {path}]")
+
+    return _emit

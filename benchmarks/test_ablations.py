@@ -1,0 +1,103 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_bin_count(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.ablate_bin_count("matmul"), rounds=1, iterations=1
+    )
+    emit("ablation_bin_count", table.render())
+    costs = table.column("cost")
+    # More bins give finer placement: cost never degrades materially.
+    assert costs[-1] <= costs[0] + 0.02
+    # Too few bins is the lossy direction: very coarse binning forces
+    # all-or-nothing decisions and a worse cost.
+    assert costs[0] >= costs[2]
+    # Section V-F's bins merging keeps the mapping count small no matter
+    # how many bins the analysis used (same-tier neighbours recombine).
+    mappings = table.column("mappings")
+    assert max(mappings) <= 64
+
+
+def test_ablation_merge_tolerance(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.ablate_merge_tolerance("linpack"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_merge_tolerance", table.render())
+    regions = table.column("regions")
+    # Higher tolerance merges more aggressively: fewer regions.
+    assert regions[-1] <= regions[0]
+    # Section V-F's claim: merging similar regions does not change the
+    # resulting slowdown materially.
+    slowdowns = table.column("slowdown")
+    assert max(slowdowns) - min(slowdowns) < 0.05
+
+
+def test_ablation_cost_ratio(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.ablate_cost_ratio("pagerank"), rounds=1, iterations=1
+    )
+    emit("ablation_cost_ratio", table.render())
+    slow_pct = table.column("slow %")
+    # A cheaper slow tier (higher ratio) pulls more memory across.
+    assert slow_pct[-1] >= slow_pct[0]
+    # Costs never beat each ratio's own optimum.
+    for cost, optimal in zip(table.column("cost"), table.column("optimal cost")):
+        assert cost >= optimal - 1e-9
+
+
+def test_ablation_memory_technology(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.ablate_memory_technology("matmul"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_memory_technology", table.render())
+    by_pairing = {
+        row[0]: dict(zip(table.headers, row)) for row in table.rows
+    }
+    # The milder the slow tier, the smaller the slowdown at minimum cost.
+    assert (
+        by_pairing["ddr5+cxl"]["slowdown"]
+        <= by_pairing["dram+nvme"]["slowdown"]
+    )
+    # Every pairing lands between its own optimum and DRAM-only.
+    for row in by_pairing.values():
+        assert row["optimal"] - 1e-9 <= row["cost"] <= 1.0 + 1e-9
+
+
+def test_ablation_pack_mode(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.ablate_pack_mode("pagerank"), rounds=1, iterations=1
+    )
+    emit("ablation_pack_mode", table.render())
+    by_mode = {row[0]: dict(zip(table.headers, row)) for row in table.rows}
+    # Density-homogeneous bins find at least as cheap a placement as
+    # weight-balanced packing on a density-bimodal function.
+    assert by_mode["quantile"]["cost"] <= by_mode["greedy"]["cost"] + 0.05
+
+
+def test_keepalive_synergy(benchmark, emit):
+    table = benchmark.pedantic(
+        ablations.keepalive_synergy, rounds=1, iterations=1
+    )
+    emit("ablation_keepalive_synergy", table.render())
+    by_policy = {row[0]: row[1] for row in table.rows}
+    # TOSS's small DRAM footprints keep several times more VMs warm.
+    assert by_policy["toss-tiered"] >= 2 * max(by_policy["dram-only"], 1)
+
+
+def test_ablation_convergence_window(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: ablations.ablate_convergence_window("json_load_dump"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_convergence_window", table.render())
+    invocations = table.column("profiling invocations")
+    # Longer windows demand longer profiling phases.
+    assert invocations == sorted(invocations)
+    assert all(table.column("converged"))

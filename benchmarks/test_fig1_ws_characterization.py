@@ -1,0 +1,23 @@
+"""Figure 1 bench: working-set characterisation, userfaultfd vs DAMON."""
+
+from repro.experiments import fig1_ws_characterization
+from repro.functions import INPUT_LABELS
+
+
+def test_fig1_ws_characterization(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: fig1_ws_characterization.run("json_load_dump"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig1_ws_characterization", result.table.render())
+
+    # Paper: access counts grow with the input...
+    ws_sizes = [int(result.uffd_masks[l].sum()) for l in INPUT_LABELS]
+    assert ws_sizes == sorted(ws_sizes)
+    damon_observed = [
+        float((result.damon_values[l] > 4.0).sum()) for l in INPUT_LABELS
+    ]
+    assert damon_observed[-1] > damon_observed[0]
+    # ...and each input leads to a significantly different pattern.
+    assert result.pattern_overlap("I", "IV") < 0.9

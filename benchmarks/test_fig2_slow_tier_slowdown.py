@@ -1,0 +1,34 @@
+"""Figure 2 bench: slowdown with all memory on the slow tier."""
+
+from repro.experiments import fig2_slow_tier_slowdown
+
+
+def test_fig2_slow_tier_slowdown(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(
+        lambda: fig2_slow_tier_slowdown.run(iterations=10),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig2_slow_tier_slowdown", result.table.render())
+    from repro.plot import bars_to_svg
+
+    emit_svg(
+        "fig2_slow_tier_slowdown",
+        bars_to_svg(result.table, label_column="function",
+                    y_label="slowdown vs DRAM"),
+    )
+
+    sd = result.slowdowns
+    # Observation #1: storage-bound/short functions barely degrade.
+    assert sd[("compress", "IV")] < 1.05
+    assert sd[("json_load_dump", "IV")] < 1.10
+    # Memory-intensive functions suffer; pagerank is the worst.
+    assert sd[("pagerank", "IV")] > 1.8
+    assert sd[("matmul", "IV")] > 1.5
+    assert max(sd.values()) == max(
+        v for (n, l), v in sd.items() if n == "pagerank"
+    )
+    # Observation #2: slowdown varies across inputs of one function.
+    assert sd[("matmul", "IV")] > sd[("matmul", "I")] * 1.3
+    # Figure 6's worst-five set emerges from this figure.
+    assert set(result.worst_functions(5)) >= {"pagerank", "matmul", "linpack"}

@@ -1,0 +1,23 @@
+"""Figure 3 bench: REAP slowdown across snapshot/execution inputs."""
+
+from repro.experiments import fig3_reap_input_sensitivity
+
+
+def test_fig3_reap_input_sensitivity(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: fig3_reap_input_sensitivity.run(iterations=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig3_reap_input_sensitivity", result.table.render())
+
+    # Observation #3 (paper: 26 % average, up to 3.47x): divergent
+    # snapshot inputs cost real time on average, with heavy outliers.
+    assert 1.05 < result.overall_mean < 1.8
+    assert result.overall_max > 2.0
+    # The damage is two-sided: executing a large input against a small
+    # snapshot pays runtime faults, and executing a small input against a
+    # large snapshot pays a bloated prefetch — so most execution inputs
+    # see a real mean penalty.
+    penalised = [v for v in result.mean_slowdown.values() if v > 1.05]
+    assert len(penalised) >= 0.6 * len(result.mean_slowdown)

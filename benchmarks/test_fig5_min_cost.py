@@ -1,0 +1,30 @@
+"""Figure 5 bench: minimum memory cost and slowdown per function."""
+
+from repro.experiments import fig5_min_cost
+
+
+def test_fig5_min_cost(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(fig5_min_cost.run, rounds=1, iterations=1)
+    emit("fig5_min_cost", result.table.render())
+    from repro.plot import bars_to_svg
+
+    emit_svg(
+        "fig5_min_cost",
+        bars_to_svg(
+            result.table,
+            label_column="function",
+            value_columns=["cost", "slowdown"],
+        ),
+    )
+
+    # Paper: cost between 0.4 and 0.87 with average 0.48.
+    assert result.optimal_cost == 0.4
+    assert all(0.4 <= c <= 0.95 for c in result.costs.values())
+    assert 0.42 <= result.mean_cost <= 0.56
+    # Paper: slowdown 0-25.6 %, average 6.7 %; 7/10 functions under 10 %.
+    assert all(1.0 <= s <= 1.30 for s in result.slowdowns.values())
+    assert result.mean_slowdown <= 1.12
+    assert result.functions_under_10pct >= 6
+    # pagerank has the worst cost (its saving is capped at ~15-20 %).
+    assert max(result.costs, key=result.costs.get) == "pagerank"
+    assert result.costs["pagerank"] > 0.75

@@ -1,0 +1,30 @@
+"""Figure 6 bench: per-bin slowdown-to-cost curves, worst five functions."""
+
+from repro.experiments import fig6_incremental_bins
+from repro.functions import INPUT_LABELS
+
+
+def test_fig6_incremental_bins(benchmark, emit):
+    result = benchmark.pedantic(
+        fig6_incremental_bins.run, rounds=1, iterations=1
+    )
+    emit(
+        "fig6_incremental_bins",
+        "\n\n".join(fig.render() for fig in result.figures.values()),
+    )
+
+    for name in fig6_incremental_bins.DEFAULT_WORST_FIVE:
+        # Slowdown accumulates monotonically as bins are offloaded.
+        for label in INPUT_LABELS:
+            sds = [p[0] for p in result.curves[(name, label)]]
+            assert all(b >= a - 1e-9 for a, b in zip(sds, sds[1:]))
+        # Paper: the largest input accumulates the most slowdown,
+        # confirming the longest-request choice for bin profiling
+        # (image_processing is the noted high-variability exception).
+        if name != "image_processing":
+            assert result.slowdown_monotone_in_input(name)
+        # And the largest input's cost is a conservative upper bound.
+        final_costs = [
+            result.final_cost(name, label) for label in INPUT_LABELS
+        ]
+        assert final_costs[-1] >= max(final_costs) - 0.05

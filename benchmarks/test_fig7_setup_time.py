@@ -1,0 +1,28 @@
+"""Figure 7 bench: setup time, REAP vs TOSS."""
+
+from repro.experiments import fig7_setup_time
+
+
+def test_fig7_setup_time(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(fig7_setup_time.run, rounds=1, iterations=1)
+    emit("fig7_setup_time", result.table.render())
+    from repro.plot import bars_to_svg
+
+    emit_svg(
+        "fig7_setup_time",
+        bars_to_svg(result.table, label_column="function",
+                    y_label="setup time vs DRAM snapshot"),
+    )
+
+    # Paper: REAP displays up to 52x higher setup time than TOSS.
+    assert 25.0 < result.max_reap_over_toss < 90.0
+    # TOSS setup is constant-ish: within a tight band across functions.
+    toss_values = list(result.toss.values())
+    assert max(toss_values) / min(toss_values) < 1.3
+    # REAP's setup grows with the snapshot working set: pagerank worst.
+    assert max(result.reap_max, key=result.reap_max.get) == "pagerank"
+    # Paper: REAP is slightly faster only for very small working sets
+    # (pyaes and float_operation).
+    faster = set(result.reap_faster_functions)
+    assert {"pyaes", "float_operation"} <= faster
+    assert len(faster) <= 4

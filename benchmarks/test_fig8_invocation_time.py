@@ -1,0 +1,20 @@
+"""Figure 8 bench: total invocation time (setup + execution) vs DRAM."""
+
+from repro.experiments import fig8_invocation_time
+
+
+def test_fig8_invocation_time(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: fig8_invocation_time.run(iterations=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig8_invocation_time", result.table.render())
+
+    # Paper: TOSS averages 1.78x vs DRAM (up to 3.8x).
+    assert 1.1 <= result.toss_mean <= 2.2
+    assert result.toss_max <= 5.0
+    # Paper: REAP averages 2.5x (up to 13x) — worse than TOSS on average.
+    assert result.reap_mean > result.toss_mean
+    assert 1.5 <= result.reap_mean <= 3.5
+    assert 8.0 <= result.reap_worst <= 20.0

@@ -1,0 +1,29 @@
+"""Figure 9 bench: execution slowdown under concurrent invocations."""
+
+from repro.experiments import fig9_scalability
+
+
+def test_fig9_scalability(benchmark, emit, emit_svg):
+    result = benchmark.pedantic(fig9_scalability.run, rounds=1, iterations=1)
+    emit(
+        "fig9_scalability",
+        result.table.render() + "\n\n" + result.figure.render(2),
+    )
+    from repro.plot import series_to_svg
+
+    emit_svg("fig9_scalability", series_to_svg(result.figure))
+
+    # DRAM scales flat (100 GB/s headroom at 20-way).
+    assert result.mean_at("dram", 20) < 1.2
+    # REAP Best (same snapshot and execution input) behaves like DRAM.
+    assert result.mean_at("reap-best", 20) < 1.5
+    # Paper: REAP Worst averages 3.79x at 20-way and grows with load.
+    assert 2.5 <= result.mean_at("reap-worst", 20) <= 7.0
+    assert result.mean_at("reap-worst", 20) > result.mean_at("reap-worst", 1)
+    assert result.max_at("reap-worst", 20) > 6.0
+    # Paper: TOSS averages 1.95x (up to 4.2x), beating REAP Worst on 8/10.
+    assert 1.3 <= result.mean_at("toss", 20) <= 2.6
+    assert result.max_at("toss", 20) <= 5.5
+    assert result.toss_wins_vs_reap_worst(20) >= 7
+    # Paper: pagerank under TOSS scales like DRAM (hot set stayed fast).
+    assert result.at("toss", 20)["pagerank"] < 1.6

@@ -1,0 +1,28 @@
+"""Fleet-level provider study bench (extension).
+
+Quantifies the paper's motivation at fleet scale: packing density and
+invocation-weighted bill savings across the Table I + extended suites on
+the paper's host shape.
+"""
+
+from repro.experiments import fleet_study
+
+
+def test_fleet_study(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: fleet_study.run(requests_per_function=30),
+        rounds=1,
+        iterations=1,
+    )
+    emit("extension_fleet_study", result.table.render())
+
+    # TOSS multiplies packing density several-fold on average...
+    assert result.mean_density_multiplier > 3.0
+    # ...with the memory-intensive outliers gaining the least.
+    ratios = {
+        name: t / d for name, (d, t) in result.density.items()
+    }
+    assert ratios["pagerank"] == min(ratios.values())
+    # Fleet bill savings land between pagerank's ~15-20 % and the 60 %
+    # optimum.
+    assert 0.20 < result.savings_fraction < 0.60

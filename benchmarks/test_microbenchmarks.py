@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the core simulator primitives.
+
+Unlike the figure benches (one-shot experiment reproductions), these use
+pytest-benchmark's statistics properly: many rounds of the hot primitives
+the experiments are built from, so regressions in the substrate show up
+directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import ProfilingAnalyzer
+from repro.functions import get_function
+from repro.memsim.tiers import Tier
+from repro.profiling.damon import DamonProfiler
+from repro.vm.layout import MemoryLayout
+from repro.vm.microvm import MicroVM
+
+
+@pytest.fixture(scope="module")
+def matmul_trace():
+    return get_function("matmul").trace(3, 0)
+
+
+def test_bench_trace_synthesis(benchmark):
+    func = get_function("matmul")
+    counter = iter(range(10**9))
+    benchmark(lambda: func.trace(3, next(counter)))
+
+
+def test_bench_execution_engine(benchmark, matmul_trace):
+    func = get_function("matmul")
+    placement = np.zeros(func.n_pages, dtype=np.uint8)
+    placement[func.n_pages // 2 :] = int(Tier.SLOW)
+
+    def run():
+        return MicroVM(func.n_pages, placement=placement).execute(matmul_trace)
+
+    result = benchmark(run)
+    assert result.time_s > 0
+
+
+def test_bench_damon_profile(benchmark, matmul_trace):
+    func = get_function("matmul")
+    vm = MicroVM(func.n_pages)
+    records = vm.execute(matmul_trace).epoch_records
+    damon = DamonProfiler(func.n_pages, rng=np.random.default_rng(0))
+
+    benchmark(lambda: damon.profile(records))
+
+
+def test_bench_layout_from_placement(benchmark):
+    rng = np.random.default_rng(0)
+    placement = (rng.random(262_144) < 0.9).astype(np.uint8)
+
+    layout = benchmark(lambda: MemoryLayout.from_placement(placement))
+    assert layout.n_pages == 262_144
+
+
+def test_bench_full_analysis(benchmark, tiny_pattern_and_trace):
+    pattern, trace = tiny_pattern_and_trace
+    analyzer = ProfilingAnalyzer()
+    result = benchmark(lambda: analyzer.analyze(pattern, trace))
+    assert result.slow_fraction > 0
+
+
+@pytest.fixture(scope="module")
+def tiny_pattern_and_trace():
+    from repro.profiling.unified import UnifiedAccessPattern
+    from repro.vm.vmm import VMM
+
+    func = get_function("pyaes")
+    vmm = VMM()
+    damon = DamonProfiler(func.n_pages, rng=np.random.default_rng(0))
+    pattern = UnifiedAccessPattern(func.n_pages, convergence_window=3)
+    for i in range(6):
+        boot = vmm.boot_and_run(func, 3, i)
+        snap = damon.profile(boot.execution.epoch_records)
+        if i:
+            pattern.update(snap)
+    return pattern, func.trace(3, 99)

@@ -1,0 +1,67 @@
+"""N-tier extension bench: what a third rung buys over the paper's two.
+
+Not a paper figure — the future-work extension quantified: for a set of
+suite functions, compare the two-tier minimum cost (DRAM+PMEM, the
+paper's platform) against three-rung ladders.
+"""
+
+import numpy as np
+
+from repro.core.analysis import ProfilingAnalyzer
+from repro.functions import get_function
+from repro.multitier import DRAM_CXL_NVME, DRAM_PMEM_NVME, MultiTierAnalyzer
+from repro.profiling import DamonProfiler, UnifiedAccessPattern
+from repro.report import Table
+from repro.vm.vmm import VMM
+
+FUNCTIONS = ("matmul", "lr_serving", "json_load_dump", "image_processing")
+
+
+def _pattern(func, seed=1, invocations=10):
+    vmm = VMM()
+    damon = DamonProfiler(func.n_pages, rng=np.random.default_rng(seed))
+    pattern = UnifiedAccessPattern(func.n_pages, convergence_window=5)
+    for i in range(invocations):
+        boot = vmm.boot_and_run(func, 3, i)
+        snap = damon.profile(boot.execution.epoch_records)
+        if i == 0:
+            continue
+        pattern.update(snap)
+    return pattern
+
+
+def _run() -> Table:
+    table = Table(
+        "Extension: 2-tier (paper) vs 3-tier minimum cost",
+        ["function", "2-tier cost", "dram+pmem+nvme", "dram+cxl+nvme",
+         "3-tier SD", "dram %"],
+    )
+    for name in FUNCTIONS:
+        func = get_function(name)
+        pattern = _pattern(func)
+        trace = func.trace(3, 999)
+        two = ProfilingAnalyzer().analyze(pattern, trace)
+        pmem3 = MultiTierAnalyzer(DRAM_PMEM_NVME).analyze(pattern, trace)
+        cxl3 = MultiTierAnalyzer(DRAM_CXL_NVME).analyze(pattern, trace)
+        table.add_row(
+            name,
+            two.cost,
+            pmem3.cost,
+            cxl3.cost,
+            cxl3.slowdown,
+            100.0 * cxl3.top_tier_fraction,
+        )
+    return table
+
+
+def test_multitier_extension(benchmark, emit):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("extension_multitier", table.render())
+
+    for row in table.rows:
+        two_tier, pmem3, cxl3 = row[1], row[2], row[3]
+        # A richer ladder never costs more than the paper's two tiers.
+        assert pmem3 <= two_tier + 1e-9
+        assert cxl3 <= two_tier + 1e-9
+        # And the slowdown stays in the acceptable band.
+        assert row[4] < 1.30

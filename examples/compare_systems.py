@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Head-to-head: TOSS vs REAP vs FaaSnap vs vanilla Firecracker.
+
+For one function, compares the four restore strategies on the axes the
+paper evaluates: setup time, total invocation time across execution
+inputs, and behaviour under 20-way concurrency — plus FaaSnap's
+mincore-inflated working set (Section III-C).
+
+Run:  python examples/compare_systems.py [function_name]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines import (
+    DramBaseline,
+    FaasnapSystem,
+    ReapSystem,
+    TossSystem,
+    VanillaLazy,
+)
+from repro.functions import INPUT_LABELS, get_function
+from repro.platform import Scheduler
+from repro.report import Table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "lr_serving"
+    function = get_function(name)
+    print(f"== comparing systems on {name} ==\n")
+
+    dram = DramBaseline(function)
+    systems = {
+        "vanilla": VanillaLazy(function),
+        "reap (best)": ReapSystem(function, snapshot_input=3),
+        "reap (worst)": ReapSystem(function, snapshot_input=0),
+        "faasnap": FaasnapSystem(function, snapshot_input=3),
+        "toss": TossSystem(function, convergence_window=6),
+    }
+
+    warm = {
+        i: float(np.mean([dram.invoke(i, s).exec_time_s for s in range(3)]))
+        for i in range(4)
+    }
+
+    table = Table(
+        "Setup and normalized total invocation time (vs warm DRAM)",
+        ["system", "setup ms", *(f"input {l}" for l in INPUT_LABELS)],
+        precision=2,
+    )
+    for label, system in systems.items():
+        outcomes = [system.invoke(i, 100) for i in range(4)]
+        table.add_row(
+            label,
+            outcomes[0].setup_time_s * 1e3,
+            *(o.total_time_s / warm[i] for i, o in enumerate(outcomes)),
+        )
+    print(table.render())
+
+    faas = systems["faasnap"]
+    print(
+        f"\nfaasnap working set: {faas.ws_pages} pages "
+        f"({faas.inflation:.2f}x the truly touched set — readahead inflation)"
+    )
+
+    sched = Scheduler()
+    conc = Table(
+        "Execution slowdown vs warm DRAM under concurrency (input IV)",
+        ["system", "C=1", "C=10", "C=20"],
+        precision=2,
+    )
+    for label, system in systems.items():
+        row = [label]
+        for c in (1, 10, 20):
+            result = sched.run_concurrent(system, 3, c)
+            row.append(result.mean_exec_s / warm[3])
+        conc.add_row(*row)
+    print("\n" + conc.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: tier one serverless function with TOSS.
+
+Walks the full Figure 4 pipeline for one Table I function:
+
+1. the first invocation runs in a DRAM-only guest and a single-tier
+   snapshot is captured;
+2. subsequent invocations are profiled with DAMON until the unified
+   access pattern converges;
+3. the profiling analysis picks a minimum-cost page placement;
+4. a tiered snapshot is generated and serves all later invocations.
+
+Run:  python examples/quickstart.py [function_name]
+"""
+
+import sys
+
+from repro.core import Phase, TossConfig, TossController
+from repro.functions import get_function, table1
+from repro.memsim.tiers import DEFAULT_MEMORY_SYSTEM
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "matmul"
+    function = get_function(name)
+    print(f"== TOSS quickstart: {function.name} ({function.guest_mb} MB guest) ==\n")
+
+    row = next(r for r in table1() if r.name == name)
+    print(f"inputs ({row.input_type}): {', '.join(row.inputs)}\n")
+
+    controller = TossController(
+        function,
+        cfg=TossConfig(convergence_window=8, min_profiling_invocations=4),
+    )
+
+    # Send a stream of invocations cycling through the inputs; TOSS walks
+    # itself from initial execution through profiling into tiered serving.
+    invocation = 0
+    while controller.phase is not Phase.TIERED and invocation < 200:
+        outcome = controller.invoke(invocation % function.n_inputs)
+        invocation += 1
+        if invocation <= 3 or outcome.analysis_generated:
+            print(
+                f"  #{invocation:<3d} phase={outcome.phase.value:<9s} "
+                f"input={outcome.input_index}  "
+                f"total={outcome.total_time_s * 1e3:8.2f} ms"
+            )
+        elif invocation == 4:
+            print("  ... profiling ...")
+
+    analysis = controller.analysis
+    snapshot = controller.tiered_snapshot
+    print(f"\nconverged after {invocation} invocations")
+    print(f"  slow tier share : {snapshot.slow_fraction:6.1%}")
+    print(f"  expected slowdown: {analysis.expected_slowdown:6.3f}x")
+    print(
+        f"  normalized cost : {analysis.cost:6.3f} "
+        f"(DRAM-only = 1.0, optimal = "
+        f"{DEFAULT_MEMORY_SYSTEM.optimal_normalized_cost})"
+    )
+    print(f"  memory mappings : {snapshot.layout.n_mappings}")
+
+    print("\ntiered serving (input IV):")
+    for _ in range(3):
+        outcome = controller.invoke(3)
+        print(
+            f"  setup {outcome.setup_time_s * 1e3:6.2f} ms + "
+            f"exec {outcome.exec_time_s * 1e3:9.2f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

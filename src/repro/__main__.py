@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                     # available experiments
+    python -m repro run fig5                 # one experiment
+    python -m repro run table2 fig7          # several
+    python -m repro run all                  # everything (minutes)
+    python -m repro table1                   # print the workload catalogue
+
+Output mirrors what the benchmark harness writes to ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments as ex
+from .functions import table1
+from .report import Table
+
+
+def _run_fig1():
+    return ex.fig1_ws_characterization.run("json_load_dump").table.render()
+
+
+def _run_fig2():
+    return ex.fig2_slow_tier_slowdown.run(iterations=10).table.render()
+
+
+def _run_fig3():
+    return ex.fig3_reap_input_sensitivity.run(iterations=2).table.render()
+
+
+def _run_fig5():
+    return ex.fig5_min_cost.run().table.render()
+
+
+def _run_table2():
+    return ex.table2_slow_tier_pct.run().table.render()
+
+
+def _run_fig6():
+    result = ex.fig6_incremental_bins.run()
+    return "\n\n".join(fig.render() for fig in result.figures.values())
+
+
+def _run_fig7():
+    return ex.fig7_setup_time.run().table.render()
+
+
+def _run_fig8():
+    return ex.fig8_invocation_time.run(iterations=2).table.render()
+
+
+def _run_fig9():
+    result = ex.fig9_scalability.run()
+    return result.table.render() + "\n\n" + result.figure.render(2)
+
+
+def _run_sec6c3():
+    return ex.sec6c3_snapshot_variance.run().table.render()
+
+
+def _run_fleet():
+    result = ex.fleet_study.run()
+    return result.table.render() + (
+        f"\n\nmean packing-density multiplier: "
+        f"{result.mean_density_multiplier:.1f}x, fleet bill savings: "
+        f"{result.savings_fraction:.1%}"
+    )
+
+
+def _run_ablations():
+    return "\n\n".join(
+        t.render()
+        for t in (
+            ex.ablations.ablate_bin_count(),
+            ex.ablations.ablate_merge_tolerance(),
+            ex.ablations.ablate_cost_ratio(),
+            ex.ablations.ablate_convergence_window(),
+        )
+    )
+
+
+EXPERIMENTS = {
+    "fig1": ("Figure 1: WS characterisation (uffd vs DAMON)", _run_fig1),
+    "fig2": ("Figure 2: full-slow-tier slowdown", _run_fig2),
+    "fig3": ("Figure 3: REAP input sensitivity", _run_fig3),
+    "fig5": ("Figure 5: minimum memory cost", _run_fig5),
+    "table2": ("Table II: slow-tier offload %", _run_table2),
+    "fig6": ("Figure 6: per-bin slowdown/cost curves", _run_fig6),
+    "fig7": ("Figure 7: setup time", _run_fig7),
+    "fig8": ("Figure 8: total invocation time", _run_fig8),
+    "fig9": ("Figure 9: concurrency scalability", _run_fig9),
+    "sec6c3": ("Section VI-C3: snapshot cost variance", _run_sec6c3),
+    "ablations": ("Design-choice ablations", _run_ablations),
+    "fleet": ("Extension: fleet packing density and bill savings", _run_fleet),
+}
+
+
+def _print_table1() -> str:
+    table = Table(
+        "Table I: functions, memory configurations and inputs",
+        ["function", "description", "memory MB", "input type", "inputs"],
+    )
+    for row in table1():
+        table.add_row(
+            row.name,
+            row.description,
+            row.memory_mb,
+            row.input_type,
+            ", ".join(row.inputs),
+        )
+    return table.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TOSS reproduction: regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("table1", help="print the Table I workload catalogue")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    plot = sub.add_parser(
+        "plot", help="render an experiment as SVG (fig2/fig5/fig7/fig9)"
+    )
+    plot.add_argument("name", choices=["fig2", "fig5", "fig7", "fig9"])
+    plot.add_argument(
+        "--out", default=None, help="output path (default results/<name>.svg)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for key, (title, _) in EXPERIMENTS.items():
+            print(f"  {key:<10s} {title}")
+        return 0
+    if args.command == "table1":
+        print(_print_table1())
+        return 0
+    if args.command == "plot":
+        import pathlib
+
+        from .plot import bars_to_svg, series_to_svg
+
+        if args.name == "fig2":
+            table = ex.fig2_slow_tier_slowdown.run(iterations=5).table
+            svg = bars_to_svg(table, label_column="function",
+                              y_label="slowdown vs DRAM")
+        elif args.name == "fig5":
+            table = ex.fig5_min_cost.run().table
+            svg = bars_to_svg(table, label_column="function",
+                              value_columns=["cost", "slowdown"])
+        elif args.name == "fig7":
+            table = ex.fig7_setup_time.run().table
+            svg = bars_to_svg(table, label_column="function",
+                              y_label="setup vs DRAM snapshot")
+        else:
+            svg = series_to_svg(ex.fig9_scalability.run().figure)
+        out = pathlib.Path(args.out or f"results/{args.name}.svg")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(svg)
+        print(f"wrote {out}")
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    for name in names:
+        title, runner = EXPERIMENTS[name]
+        print(f"== {title} ==")
+        start = time.time()
+        print(runner())
+        print(f"[{name} done in {time.time() - start:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

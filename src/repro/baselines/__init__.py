@@ -1,0 +1,35 @@
+"""Comparison systems (Section VI-B).
+
+All systems expose the same ``invoke(input_index, seed)`` interface
+returning a :class:`SystemOutcome`, so experiments can sweep them
+uniformly:
+
+* :class:`DramBaseline` — warm, all-DRAM execution (the normalisation
+  reference in Figures 8/9).
+* :class:`VanillaLazy` — stock Firecracker snapshot restore: lazy paging
+  from the SSD through the host page cache.
+* :class:`ReapSystem` — REAP: eager working-set prefetch recorded with
+  ``userfaultfd`` during a single recording invocation.
+* :class:`FaasnapSystem` — FaaSnap-style: same restore idea but with the
+  working set captured via ``mincore()``, inheriting its readahead
+  inflation (Section III-C).
+* :class:`TossSystem` — TOSS in its steady (tiered) state, with helpers to
+  drive the profiling phase to completion first.
+"""
+
+from .base import SystemOutcome, ServerlessSystem
+from .dram import DramBaseline
+from .vanilla import VanillaLazy
+from .reap import ReapSystem
+from .faasnap import FaasnapSystem
+from .toss_system import TossSystem
+
+__all__ = [
+    "SystemOutcome",
+    "ServerlessSystem",
+    "DramBaseline",
+    "VanillaLazy",
+    "ReapSystem",
+    "FaasnapSystem",
+    "TossSystem",
+]

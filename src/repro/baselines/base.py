@@ -1,0 +1,77 @@
+"""Common interface for the systems under evaluation."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from .. import config
+from ..functions.base import FunctionModel
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..vm.microvm import ExecutionResult
+from ..vm.vmm import VMM
+
+__all__ = ["SystemOutcome", "ServerlessSystem"]
+
+
+@dataclass(frozen=True)
+class SystemOutcome:
+    """One invocation under one system."""
+
+    system: str
+    input_index: int
+    seed: int
+    setup_time_s: float
+    execution: ExecutionResult
+
+    @property
+    def exec_time_s(self) -> float:
+        """Uncontended execution time."""
+        return self.execution.time_s
+
+    @property
+    def total_time_s(self) -> float:
+        """Setup plus execution (the Figure 8 quantity)."""
+        return self.setup_time_s + self.exec_time_s
+
+
+class ServerlessSystem(abc.ABC):
+    """A system that serves invocations of one function.
+
+    Subclasses set up their snapshot machinery in ``__init__`` (that is
+    the offline/recording part) and serve cold invocations in
+    :meth:`invoke` — each invocation restores fresh with a dropped page
+    cache, as the evaluation methodology prescribes (Section VI-A).
+    """
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        function: FunctionModel,
+        *,
+        memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+        root_seed: int = config.DEFAULT_SEED,
+    ) -> None:
+        self.function = function
+        self.memory = memory
+        self.root_seed = root_seed
+        self.vmm = VMM(memory, root_seed=root_seed)
+
+    @abc.abstractmethod
+    def invoke(self, input_index: int, seed: int = 0) -> SystemOutcome:
+        """Serve one cold invocation."""
+
+    def _trace(self, input_index: int, seed: int):
+        return self.function.trace(input_index, seed, root_seed=self.root_seed)
+
+    def _outcome(
+        self, input_index: int, seed: int, setup_time_s: float, execution
+    ) -> SystemOutcome:
+        return SystemOutcome(
+            system=self.name,
+            input_index=input_index,
+            seed=seed,
+            setup_time_s=setup_time_s,
+            execution=execution,
+        )

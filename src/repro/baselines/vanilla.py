@@ -1,0 +1,31 @@
+"""Stock Firecracker lazy snapshot restore."""
+
+from __future__ import annotations
+
+from ..functions.base import FunctionModel
+from .base import ServerlessSystem, SystemOutcome
+
+__all__ = ["VanillaLazy"]
+
+
+class VanillaLazy(ServerlessSystem):
+    """Firecracker's shipped snapshot path (Section II-A).
+
+    Setup memory-maps the snapshot file; guest pages arrive on demand
+    through the host page cache (readahead included), so the execution
+    pays major faults on first touches.  The page cache is dropped
+    between invocations per the evaluation methodology.
+    """
+
+    name = "vanilla"
+
+    def __init__(self, function: FunctionModel, **kwargs) -> None:
+        super().__init__(function, **kwargs)
+        boot = self.vmm.boot_and_run(function, 0, 0)
+        self._snapshot = self.vmm.capture_snapshot(boot.vm, label=function.name)
+
+    def invoke(self, input_index: int, seed: int = 0) -> SystemOutcome:
+        """One cold lazy-restore invocation."""
+        restore = self.vmm.restore(self._snapshot, "lazy")
+        execution = restore.vm.execute(self._trace(input_index, seed))
+        return self._outcome(input_index, seed, restore.setup_time_s, execution)

@@ -1,0 +1,83 @@
+"""The memory cost model (Section IV-B, Equation 1).
+
+    cost = SDown * (MB_fast * Cost_fast + MB_slow * Cost_slow)
+
+``SDown`` is the slowdown relative to running entirely in the fast tier;
+the parenthesis is the capacity-weighted price.  The *normalized* form
+divides by the all-fast cost, so 1.0 means "same bill as today's
+DRAM-only plans" and ``1/cost_ratio`` (0.4 at the paper's 2.5 ratio) is
+the optimum: everything in the slow tier at zero slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+
+__all__ = ["memory_cost", "normalized_cost", "CostPoint"]
+
+
+def memory_cost(
+    slowdown: float,
+    fast_mb: float,
+    slow_mb: float,
+    memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+) -> float:
+    """Equation 1 verbatim, in price units per unit of time.
+
+    Multiply by an invocation's duration and a vendor's $/MB/ms rate to get
+    a bill; experiments mostly use :func:`normalized_cost` instead.
+    """
+    if slowdown < 1.0:
+        raise AnalysisError(f"slowdown {slowdown} below 1.0 is not meaningful")
+    if fast_mb < 0 or slow_mb < 0:
+        raise AnalysisError("tier sizes must be non-negative")
+    if fast_mb == 0 and slow_mb == 0:
+        raise AnalysisError("at least one tier must hold memory")
+    return slowdown * (
+        fast_mb * memory.fast.cost_per_mb + slow_mb * memory.slow.cost_per_mb
+    )
+
+
+def normalized_cost(
+    slowdown: float,
+    fast_fraction: float,
+    memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+) -> float:
+    """Equation 1 normalized to the all-fast (DRAM-only) configuration.
+
+    ``fast_fraction`` is the share of guest memory kept in the fast tier.
+    A value below 1.0 means the configuration is cheaper than DRAM-only;
+    the floor is ``memory.optimal_normalized_cost``.
+    """
+    if slowdown < 1.0:
+        raise AnalysisError(f"slowdown {slowdown} below 1.0 is not meaningful")
+    if not 0.0 <= fast_fraction <= 1.0:
+        raise AnalysisError("fast_fraction must lie in [0, 1]")
+    slow_fraction = 1.0 - fast_fraction
+    return slowdown * (fast_fraction + slow_fraction / memory.cost_ratio)
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """One (slowdown, placement) point on a cost curve (Figures 5/6)."""
+
+    slowdown: float
+    slow_fraction: float
+    cost: float
+
+    @classmethod
+    def of(
+        cls,
+        slowdown: float,
+        slow_fraction: float,
+        memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+    ) -> "CostPoint":
+        """Build a point, computing the normalized cost."""
+        return cls(
+            slowdown=slowdown,
+            slow_fraction=slow_fraction,
+            cost=normalized_cost(slowdown, 1.0 - slow_fraction, memory),
+        )

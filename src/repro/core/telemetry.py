@@ -1,0 +1,77 @@
+"""Structured controller telemetry.
+
+Operators need to see what TOSS is doing per function — phase changes,
+snapshot generations, re-profiling triggers — without scraping logs.
+:class:`TelemetryLog` collects typed events; the controller emits them
+when a log is attached (zero overhead otherwise).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventKind", "TelemetryEvent", "TelemetryLog"]
+
+
+class EventKind(enum.Enum):
+    """The controller's observable milestones."""
+
+    INITIAL_EXECUTION = "initial-execution"
+    PROFILING_INVOCATION = "profiling-invocation"
+    PATTERN_CONVERGED = "pattern-converged"
+    SNAPSHOT_GENERATED = "snapshot-generated"
+    TIERED_INVOCATION = "tiered-invocation"
+    REPROFILE_TRIGGERED = "reprofile-triggered"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One milestone with its context."""
+
+    kind: EventKind
+    function: str
+    invocation: int
+    detail: dict = field(default_factory=dict)
+
+
+class TelemetryLog:
+    """An in-memory event sink with optional subscribers."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+        self._subscribers: list[Callable[[TelemetryEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        """Call ``callback`` for every future event."""
+        self._subscribers.append(callback)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Record an event and fan it out."""
+        self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: EventKind) -> list[TelemetryEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of one kind."""
+        return len(self.of_kind(kind))
+
+    def last(self, kind: EventKind) -> TelemetryEvent | None:
+        """Most recent event of one kind, if any."""
+        events = self.of_kind(kind)
+        return events[-1] if events else None
+
+    def timeline(self) -> list[str]:
+        """Human-readable one-line-per-event rendering."""
+        return [
+            f"#{e.invocation:<4d} {e.function}: {e.kind.value}"
+            + (f" {e.detail}" if e.detail else "")
+            for e in self.events
+        ]

@@ -1,0 +1,42 @@
+"""Snapshot tiering (Section V-D) and region merging (Section V-F).
+
+Partitions the single-tier snapshot into the two per-tier files plus the
+memory layout file.  The layout builder already merges adjacent same-tier
+regions (bins merging); access-count merging happened earlier, when the
+unified pattern produced its regions.
+"""
+
+from __future__ import annotations
+
+from ..errors import SnapshotError
+from ..vm.layout import MemoryLayout
+from ..vm.snapshot import SingleTierSnapshot, TieredSnapshot
+from .analysis import AnalysisResult
+
+__all__ = ["build_tiered_snapshot"]
+
+
+def build_tiered_snapshot(
+    base: SingleTierSnapshot,
+    analysis: AnalysisResult,
+    *,
+    source_inputs: tuple[int, ...] = (),
+) -> TieredSnapshot:
+    """Create the tiered snapshot for an analysis result.
+
+    Copies each region serially into its tier's file (modelled by the
+    layout's file offsets) and records the per-region metadata the restore
+    path walks.
+    """
+    if base.n_pages != analysis.n_pages:
+        raise SnapshotError(
+            f"analysis covers {analysis.n_pages} pages, snapshot has "
+            f"{base.n_pages}"
+        )
+    layout = MemoryLayout.from_placement(analysis.placement)
+    return TieredSnapshot(
+        base=base,
+        layout=layout,
+        expected_slowdown=analysis.expected_slowdown,
+        source_inputs=tuple(source_inputs),
+    )

@@ -1,0 +1,289 @@
+"""The TOSS controller: the four-step pipeline of Figure 4.
+
+Step I    — first invocation runs in a DRAM-only guest; a single-tier
+            snapshot is captured afterwards.
+Step II   — subsequent invocations restore that snapshot and run with
+            DAMON attached (~3 % overhead), folding each invocation's
+            DAMON file into the unified access pattern until it converges.
+Step III  — profiling analysis turns the pattern into a placement using
+            the biggest input encountered during profiling.
+Step IV   — the tiered snapshot is generated; later invocations restore
+            it directly.  The re-profiling policy (Section V-E) watches
+            for longer-than-profiled invocations and re-enters Step II
+            when Equation 4 fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .. import config, rng as rng_mod
+from ..errors import AnalysisError
+from ..functions.base import FunctionModel
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..profiling.damon import DamonConfig, DamonProfiler
+from ..profiling.unified import UnifiedAccessPattern
+from ..vm.snapshot import SingleTierSnapshot, TieredSnapshot
+from ..vm.vmm import VMM
+from .analysis import AnalysisResult, ProfilingAnalyzer
+from .reprofile import ReprofilePolicy
+from .telemetry import EventKind, TelemetryEvent, TelemetryLog
+from .tiering import build_tiered_snapshot
+
+__all__ = ["Phase", "TossConfig", "InvocationOutcome", "TossController"]
+
+
+class Phase(enum.Enum):
+    """Lifecycle phase of a function under TOSS."""
+
+    INITIAL = "initial"
+    PROFILING = "profiling"
+    TIERED = "tiered"
+
+
+@dataclass(frozen=True)
+class TossConfig:
+    """Controller tuning (paper defaults from Sections V and VI-A)."""
+
+    convergence_window: int = config.CONVERGENCE_WINDOW
+    n_bins: int = config.NUM_BINS
+    slowdown_threshold: float | None = None
+    reprofile_bound: float = config.REPROFILE_OVERHEAD_BOUND
+    min_profiling_invocations: int = 3
+    damon: DamonConfig = field(default_factory=DamonConfig)
+    root_seed: int = config.DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.min_profiling_invocations < 2:
+            raise AnalysisError(
+                "need at least two profiling invocations (one DAMON warm-up)"
+            )
+
+
+@dataclass(frozen=True)
+class InvocationOutcome:
+    """What one invocation cost under TOSS."""
+
+    phase: Phase
+    input_index: int
+    seed: int
+    setup_time_s: float
+    exec_time_s: float
+    slow_fraction: float
+    analysis_generated: bool = False
+
+    @property
+    def total_time_s(self) -> float:
+        """Setup plus execution (the Figure 8 quantity)."""
+        return self.setup_time_s + self.exec_time_s
+
+
+class TossController:
+    """Drives one function through the TOSS lifecycle."""
+
+    def __init__(
+        self,
+        function: FunctionModel,
+        *,
+        memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+        cfg: TossConfig = TossConfig(),
+        telemetry: TelemetryLog | None = None,
+    ) -> None:
+        self.function = function
+        self.memory = memory
+        self.cfg = cfg
+        self.telemetry = telemetry
+        self.vmm = VMM(memory, root_seed=cfg.root_seed)
+        self.analyzer = ProfilingAnalyzer(memory, n_bins=cfg.n_bins)
+        self.phase = Phase.INITIAL
+        self.single_snapshot: SingleTierSnapshot | None = None
+        self.tiered_snapshot: TieredSnapshot | None = None
+        self.analysis: AnalysisResult | None = None
+        self.reprofile = ReprofilePolicy(bound=cfg.reprofile_bound)
+        self.profiling_cycles = 0
+        self._seq = 0
+        self._reset_profiling_state()
+
+    def _emit(self, kind: EventKind, **detail) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                TelemetryEvent(
+                    kind=kind,
+                    function=self.function.name,
+                    invocation=self._seq,
+                    detail=detail,
+                )
+            )
+
+    def _reset_profiling_state(self) -> None:
+        """Start (or re-enter) the profiling phase.
+
+        The DAMON instance is always fresh (a new attach), but the unified
+        pattern is *kept* across re-profiling cycles — Section V-E
+        enhances the existing pattern with the new invocations rather than
+        forgetting what earlier profiling learned.  Only the convergence
+        countdown restarts.
+        """
+        self.damon = DamonProfiler(
+            self.function.n_pages,
+            self.cfg.damon,
+            rng=rng_mod.stream(self.cfg.root_seed, "damon", self.function.name,
+                               self.profiling_cycles),
+        )
+        if self.profiling_cycles == 0:
+            self.pattern = UnifiedAccessPattern(
+                self.function.n_pages,
+                convergence_window=self.cfg.convergence_window,
+            )
+        else:
+            self.pattern.reset_stability()
+        self.n_damon_invocations = 0
+        self._biggest_exec_s = 0.0
+        self._biggest_input = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def invoke(self, input_index: int, seed: int | None = None) -> InvocationOutcome:
+        """Serve one invocation, advancing the lifecycle as needed."""
+        if seed is None:
+            seed = self._seq
+        self._seq += 1
+        if self.phase is Phase.INITIAL:
+            return self._initial_invocation(input_index, seed)
+        if self.phase is Phase.PROFILING:
+            return self._profiling_invocation(input_index, seed)
+        return self._tiered_invocation(input_index, seed)
+
+    @property
+    def slow_fraction(self) -> float:
+        """Current slow-tier share (0 before a tiered snapshot exists)."""
+        if self.tiered_snapshot is None:
+            return 0.0
+        return self.tiered_snapshot.slow_fraction
+
+    # -- Step I -----------------------------------------------------------------
+
+    def _initial_invocation(self, input_index: int, seed: int) -> InvocationOutcome:
+        boot = self.vmm.boot_and_run(self.function, input_index, seed)
+        self.single_snapshot = self.vmm.capture_snapshot(
+            boot.vm, label=self.function.name
+        )
+        self._track_biggest(input_index, boot.execution.time_s)
+        self.phase = Phase.PROFILING
+        self._emit(EventKind.INITIAL_EXECUTION, input_index=input_index)
+        return InvocationOutcome(
+            phase=Phase.INITIAL,
+            input_index=input_index,
+            seed=seed,
+            setup_time_s=config.VM_STATE_LOAD_S,
+            exec_time_s=boot.execution.time_s,
+            slow_fraction=0.0,
+        )
+
+    # -- Step II ---------------------------------------------------------------
+
+    def _profiling_invocation(self, input_index: int, seed: int) -> InvocationOutcome:
+        assert self.single_snapshot is not None
+        restore = self.vmm.restore(self.single_snapshot, "lazy")
+        trace = self.function.trace(input_index, seed, root_seed=self.cfg.root_seed)
+        result = restore.vm.execute(trace)
+        exec_time = result.time_s * (1.0 + config.DAMON_OVERHEAD)
+        snapshot = self.damon.profile(result.epoch_records)
+        self.n_damon_invocations += 1
+        if self.n_damon_invocations > 1:
+            # First DAMON file is the region-adaptation warm-up.
+            self.pattern.update(snapshot)
+        self._track_biggest(input_index, result.time_s)
+
+        self._emit(
+            EventKind.PROFILING_INVOCATION,
+            input_index=input_index,
+            stable=self.pattern.stable_invocations,
+        )
+        generated = False
+        done_minimum = self.n_damon_invocations >= self.cfg.min_profiling_invocations
+        if done_minimum and self.pattern.converged:
+            self._emit(
+                EventKind.PATTERN_CONVERGED,
+                invocations=self.n_damon_invocations,
+            )
+            self._run_analysis()
+            generated = True
+        return InvocationOutcome(
+            phase=Phase.PROFILING,
+            input_index=input_index,
+            seed=seed,
+            setup_time_s=restore.setup_time_s,
+            exec_time_s=exec_time,
+            slow_fraction=0.0,
+            analysis_generated=generated,
+        )
+
+    def _track_biggest(self, input_index: int, exec_time_s: float) -> None:
+        if exec_time_s > self._biggest_exec_s:
+            self._biggest_exec_s = exec_time_s
+            self._biggest_input = input_index
+
+    # -- Steps III & IV ----------------------------------------------------------
+
+    def _run_analysis(self) -> None:
+        assert self.single_snapshot is not None
+        profile_trace = self.function.trace(
+            self._biggest_input,
+            rng_mod.derive_seed(self.cfg.root_seed, "bin-profiling",
+                                self.profiling_cycles) % (2**31),
+            root_seed=self.cfg.root_seed,
+        )
+        self.analysis = self.analyzer.analyze(
+            self.pattern,
+            profile_trace,
+            slowdown_threshold=self.cfg.slowdown_threshold,
+        )
+        self.tiered_snapshot = build_tiered_snapshot(
+            self.single_snapshot,
+            self.analysis,
+            source_inputs=(self._biggest_input,),
+        )
+        full_slow = self.analysis.base_slowdown - 1.0 + sum(
+            b.incremental_slowdown for b in self.analysis.bins
+        )
+        self.reprofile.record_profiling(
+            self.n_damon_invocations,
+            [b.incremental_slowdown for b in self.analysis.bins],
+            latency_lri=self._biggest_exec_s,
+            slowdown_full_slow=full_slow,
+        )
+        self.profiling_cycles += 1
+        self.phase = Phase.TIERED
+        self._emit(
+            EventKind.SNAPSHOT_GENERATED,
+            slow_fraction=round(self.analysis.slow_fraction, 4),
+            cost=round(self.analysis.cost, 4),
+            expected_slowdown=round(self.analysis.expected_slowdown, 4),
+        )
+
+    def _tiered_invocation(self, input_index: int, seed: int) -> InvocationOutcome:
+        assert self.tiered_snapshot is not None
+        restore = self.vmm.restore(self.tiered_snapshot, "toss")
+        trace = self.function.trace(input_index, seed, root_seed=self.cfg.root_seed)
+        result = restore.vm.execute(trace)
+        self.reprofile.observe(result.time_s)
+        self._emit(EventKind.TIERED_INVOCATION, input_index=input_index)
+        if self.reprofile.should_reprofile:
+            # Re-enter the profiling phase; the next invocations enhance
+            # the pattern and regenerate the snapshot (Section V-E).
+            self._emit(
+                EventKind.REPROFILE_TRIGGERED,
+                iterations=self.reprofile.iterations,
+            )
+            self.phase = Phase.PROFILING
+            self._reset_profiling_state()
+        return InvocationOutcome(
+            phase=Phase.TIERED,
+            input_index=input_index,
+            seed=seed,
+            setup_time_s=restore.setup_time_s,
+            exec_time_s=result.time_s,
+            slow_fraction=self.tiered_snapshot.slow_fraction,
+        )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the TOSS reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one clause while still discriminating on the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class AddressSpaceError(ReproError):
+    """A page index or region lies outside the guest address space."""
+
+
+class SnapshotError(ReproError):
+    """Snapshot creation, serialization, or restore failed."""
+
+
+class LayoutError(ReproError):
+    """A tiered memory-layout file is malformed or inconsistent."""
+
+
+class ProfilingError(ReproError):
+    """A profiler was driven with an invalid sequence of operations."""
+
+
+class AnalysisError(ReproError):
+    """TOSS profiling analysis was given insufficient or invalid input."""
+
+
+class SchedulerError(ReproError):
+    """The platform scheduler was configured or driven incorrectly."""
+
+
+class VMError(ReproError):
+    """A microVM was driven through an invalid lifecycle transition."""

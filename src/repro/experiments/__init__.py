@@ -1,0 +1,54 @@
+"""Per-figure/table experiment harnesses (Section VI).
+
+Each module reproduces one table or figure of the paper's evaluation and
+exposes ``run(...)`` returning structured results plus a renderable
+:class:`~repro.report.Table` / :class:`~repro.report.SeriesSet`.  The
+``benchmarks/`` tree wraps these for ``pytest-benchmark``.
+
+Index (see DESIGN.md section 3):
+
+===========  ==========================================================
+Figure 1     :mod:`.fig1_ws_characterization`
+Figure 2     :mod:`.fig2_slow_tier_slowdown`
+Figure 3     :mod:`.fig3_reap_input_sensitivity`
+Figure 5     :mod:`.fig5_min_cost`
+Table II     :mod:`.table2_slow_tier_pct`
+Figure 6     :mod:`.fig6_incremental_bins`
+Sec VI-C3    :mod:`.sec6c3_snapshot_variance`
+Figure 7     :mod:`.fig7_setup_time`
+Figure 8     :mod:`.fig8_invocation_time`
+Figure 9     :mod:`.fig9_scalability`
+===========  ==========================================================
+"""
+
+from . import (
+    ablations,
+    common,
+    fleet_study,
+    fig1_ws_characterization,
+    fig2_slow_tier_slowdown,
+    fig3_reap_input_sensitivity,
+    fig5_min_cost,
+    fig6_incremental_bins,
+    fig7_setup_time,
+    fig8_invocation_time,
+    fig9_scalability,
+    sec6c3_snapshot_variance,
+    table2_slow_tier_pct,
+)
+
+__all__ = [
+    "ablations",
+    "common",
+    "fleet_study",
+    "fig1_ws_characterization",
+    "fig2_slow_tier_slowdown",
+    "fig3_reap_input_sensitivity",
+    "fig5_min_cost",
+    "fig6_incremental_bins",
+    "fig7_setup_time",
+    "fig8_invocation_time",
+    "fig9_scalability",
+    "sec6c3_snapshot_variance",
+    "table2_slow_tier_pct",
+]

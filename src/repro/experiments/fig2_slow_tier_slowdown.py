@@ -1,0 +1,72 @@
+"""Figure 2: slowdown when running entirely in the slow tier.
+
+For every function and every Table I input, place all guest memory in the
+slow tier and report the execution slowdown normalised to all-DRAM, as the
+arithmetic mean over ``iterations`` runs.  Reproduces the paper's
+observations #1/#2: storage-bound and short functions barely degrade,
+memory-intensive ones suffer, and the slowdown varies across inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..functions import INPUT_LABELS, SUITE
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem, Tier
+from ..report import Table
+from ..vm.microvm import MicroVM
+
+__all__ = ["Fig2Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Per-(function, input) full-slow slowdowns."""
+
+    slowdowns: dict[tuple[str, str], float]
+    table: Table
+
+    def worst_functions(self, k: int = 5) -> list[str]:
+        """Functions with the largest input-IV slowdown (Figure 6's set)."""
+        by_iv = {
+            name: sd
+            for (name, label), sd in self.slowdowns.items()
+            if label == INPUT_LABELS[-1]
+        }
+        return sorted(by_iv, key=by_iv.get, reverse=True)[:k]
+
+
+def run(
+    *,
+    iterations: int = 10,
+    memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+    seed_base: int = 0,
+) -> Fig2Result:
+    """Measure the full-slow-tier slowdown grid (10 iterations, paper)."""
+    table = Table(
+        "Figure 2: normalized slowdown, all memory on the slow tier",
+        ["function", *[f"input {l}" for l in INPUT_LABELS]],
+    )
+    slowdowns: dict[tuple[str, str], float] = {}
+    for func in SUITE:
+        row: list[object] = [func.name]
+        all_slow = np.full(func.n_pages, int(Tier.SLOW), dtype=np.uint8)
+        all_fast = np.full(func.n_pages, int(Tier.FAST), dtype=np.uint8)
+        for idx, label in enumerate(INPUT_LABELS):
+            ratios = []
+            for it in range(iterations):
+                trace = func.trace(idx, seed_base + it)
+                slow_t = MicroVM(
+                    func.n_pages, memory=memory, placement=all_slow
+                ).execute(trace).time_s
+                fast_t = MicroVM(
+                    func.n_pages, memory=memory, placement=all_fast
+                ).execute(trace).time_s
+                ratios.append(slow_t / fast_t)
+            mean = float(np.mean(ratios))
+            slowdowns[(func.name, label)] = mean
+            row.append(mean)
+        table.add_row(*row)
+    return Fig2Result(slowdowns=slowdowns, table=table)

@@ -1,0 +1,90 @@
+"""Figure 3: REAP slowdown across snapshot/execution input combinations.
+
+For every function, record REAP snapshots with each of the four inputs
+and execute each input against each snapshot.  Each bar of the paper's
+figure is the mean (and max) invocation time over snapshot inputs,
+normalised to the diagonal case (snapshot input == execution input).
+Reproduces observation #3: the snapshot input heavily affects execution
+performance (paper: 26 % average, up to 3.47x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..functions import INPUT_LABELS, SUITE
+from ..report import Table
+from .common import reap_cached
+
+__all__ = ["Fig3Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Mean/max normalised slowdown per (function, execution input)."""
+
+    mean_slowdown: dict[tuple[str, str], float]
+    max_slowdown: dict[tuple[str, str], float]
+    table: Table
+
+    @property
+    def overall_mean(self) -> float:
+        """Average slowdown across all cases (paper: ~1.26)."""
+        return float(np.mean(list(self.mean_slowdown.values())))
+
+    @property
+    def overall_max(self) -> float:
+        """Worst-case slowdown (paper: up to 3.47x)."""
+        return float(max(self.max_slowdown.values()))
+
+
+def run(
+    *,
+    function_names: list[str] | None = None,
+    iterations: int = 3,
+    seed_base: int = 100,
+) -> Fig3Result:
+    """Sweep all snapshot x execution input combinations under REAP."""
+    names = function_names or [f.name for f in SUITE]
+    table = Table(
+        "Figure 3: REAP invocation-time slowdown, divergent snapshot inputs "
+        "(normalized to same-input snapshot)",
+        ["function", *(f"exec {l} mean" for l in INPUT_LABELS),
+         *(f"exec {l} max" for l in INPUT_LABELS)],
+    )
+    mean_slowdown: dict[tuple[str, str], float] = {}
+    max_slowdown: dict[tuple[str, str], float] = {}
+    for name in names:
+        means: list[float] = []
+        maxes: list[float] = []
+        for exec_idx, label in enumerate(INPUT_LABELS):
+            # Diagonal reference: snapshot recorded with the same input.
+            diag = np.mean(
+                [
+                    reap_cached(name, exec_idx)
+                    .invoke(exec_idx, seed_base + it)
+                    .total_time_s
+                    for it in range(iterations)
+                ]
+            )
+            ratios = []
+            for snap_idx in range(len(INPUT_LABELS)):
+                t = np.mean(
+                    [
+                        reap_cached(name, snap_idx)
+                        .invoke(exec_idx, seed_base + it)
+                        .total_time_s
+                        for it in range(iterations)
+                    ]
+                )
+                ratios.append(t / diag)
+            mean_slowdown[(name, label)] = float(np.mean(ratios))
+            max_slowdown[(name, label)] = float(np.max(ratios))
+            means.append(mean_slowdown[(name, label)])
+            maxes.append(max_slowdown[(name, label)])
+        table.add_row(name, *means, *maxes)
+    return Fig3Result(
+        mean_slowdown=mean_slowdown, max_slowdown=max_slowdown, table=table
+    )

@@ -1,0 +1,77 @@
+"""Figure 5: minimum memory cost and slowdown per function (input IV).
+
+Runs the full TOSS pipeline (all-inputs snapshot) for every function and
+reports the normalised memory cost against the DRAM-only cost (1.0) and
+the optimal cost (0.4 at the paper's 2.5 ratio).  Paper headline: cost
+between 0.4 and 0.87 (average 0.48), slowdown 0-25.6 % (average 6.7 %),
+with 7 of 10 functions under 10 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM
+from ..report import Table
+from .common import ALL_INPUTS, suite_names, toss_cached
+
+__all__ = ["Fig5Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Per-function minimum cost and slowdown."""
+
+    costs: dict[str, float]
+    slowdowns: dict[str, float]
+    optimal_cost: float
+    table: Table
+
+    @property
+    def mean_cost(self) -> float:
+        """Average normalised cost (paper: 0.48)."""
+        return float(np.mean(list(self.costs.values())))
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Average slowdown (paper: 1.067)."""
+        return float(np.mean(list(self.slowdowns.values())))
+
+    @property
+    def functions_under_10pct(self) -> int:
+        """Functions with less than 10 % slowdown (paper: 7 of 10)."""
+        return sum(1 for s in self.slowdowns.values() if s < 1.10)
+
+
+def run(
+    *,
+    function_names: list[str] | None = None,
+    profiling_inputs: tuple[int, ...] = ALL_INPUTS,
+) -> Fig5Result:
+    """Minimum-cost placements for the suite (all-inputs snapshot)."""
+    names = function_names or suite_names()
+    optimal = DEFAULT_MEMORY_SYSTEM.optimal_normalized_cost
+    table = Table(
+        "Figure 5: normalized memory cost and slowdown (input IV snapshot "
+        f"basis: inputs {profiling_inputs}); DRAM-only = 1.0, optimal = "
+        f"{optimal:.2f}",
+        ["function", "cost", "slowdown", "slow tier %"],
+    )
+    costs: dict[str, float] = {}
+    slowdowns: dict[str, float] = {}
+    for name in names:
+        system = toss_cached(name, profiling_inputs)
+        analysis = system.analysis
+        costs[name] = analysis.cost
+        slowdowns[name] = analysis.expected_slowdown
+        table.add_row(
+            name,
+            analysis.cost,
+            analysis.expected_slowdown,
+            100.0 * analysis.slow_fraction,
+        )
+    return Fig5Result(
+        costs=costs, slowdowns=slowdowns, optimal_cost=optimal, table=table
+    )

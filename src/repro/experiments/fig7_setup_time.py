@@ -1,0 +1,79 @@
+"""Figure 7: setup time, REAP vs TOSS, normalised to the DRAM snapshot.
+
+REAP's setup streams the recorded working set from storage, so it grows
+with the WS (min/avg/max across the four snapshot inputs); TOSS parses
+the layout file and establishes one mapping per region — constant per
+function.  Normalisation baseline: the vanilla (lazy) DRAM snapshot
+restore.  Paper headline: REAP up to 52x higher setup than TOSS, with
+REAP slightly faster only for the smallest working sets (pyaes,
+float_operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..functions import INPUT_LABELS
+from ..report import Table
+from .common import reap_cached, suite_names, toss_cached, vanilla_cached, ALL_INPUTS
+
+__all__ = ["Fig7Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Normalised setup times per function."""
+
+    toss: dict[str, float]
+    reap_min: dict[str, float]
+    reap_avg: dict[str, float]
+    reap_max: dict[str, float]
+    table: Table
+
+    @property
+    def max_reap_over_toss(self) -> float:
+        """Worst REAP/TOSS setup ratio (paper: up to 52x)."""
+        return max(self.reap_max[n] / self.toss[n] for n in self.toss)
+
+    @property
+    def reap_faster_functions(self) -> list[str]:
+        """Functions where REAP's best setup beats TOSS (paper: pyaes,
+        float_operation)."""
+        return [n for n in self.toss if self.reap_min[n] < self.toss[n]]
+
+
+def run(*, function_names: list[str] | None = None) -> Fig7Result:
+    """Measure setup times for the whole suite."""
+    names = function_names or suite_names()
+    table = Table(
+        "Figure 7: setup time normalized to the DRAM (lazy) snapshot setup",
+        ["function", "toss", "reap min", "reap avg", "reap max"],
+        precision=2,
+    )
+    toss: dict[str, float] = {}
+    reap_min: dict[str, float] = {}
+    reap_avg: dict[str, float] = {}
+    reap_max: dict[str, float] = {}
+    for name in names:
+        base = vanilla_cached(name).invoke(3, 0).setup_time_s
+        toss_setup = toss_cached(name, ALL_INPUTS).invoke(3, 0).setup_time_s
+        reap_setups = [
+            reap_cached(name, snap_idx).invoke(3, 0).setup_time_s
+            for snap_idx in range(len(INPUT_LABELS))
+        ]
+        toss[name] = toss_setup / base
+        reap_min[name] = min(reap_setups) / base
+        reap_avg[name] = float(np.mean(reap_setups)) / base
+        reap_max[name] = max(reap_setups) / base
+        table.add_row(
+            name, toss[name], reap_min[name], reap_avg[name], reap_max[name]
+        )
+    return Fig7Result(
+        toss=toss,
+        reap_min=reap_min,
+        reap_avg=reap_avg,
+        reap_max=reap_max,
+        table=table,
+    )

@@ -1,0 +1,106 @@
+"""Figure 8: total invocation time (setup + execution), normalised to DRAM.
+
+For every function, sweep all execution inputs: TOSS restores its
+minimum-cost tiered snapshot; REAP is swept over all snapshot-input
+combinations (min/avg/max).  Everything is normalised to the warm DRAM
+invocation of the same execution input.
+
+Paper headline: TOSS averages 1.78x (up to 3.8x) versus DRAM, REAP 2.5x
+on average (up to 13x) — short inputs inflate the ratios because setup
+and fault service dwarf their execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..functions import INPUT_LABELS
+from ..report import Table
+from .common import (
+    ALL_INPUTS,
+    reap_cached,
+    suite_names,
+    toss_cached,
+    warm_time_cached,
+)
+
+__all__ = ["Fig8Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Normalised total invocation times."""
+
+    toss: dict[tuple[str, str], float]
+    reap_avg: dict[tuple[str, str], float]
+    reap_max: dict[tuple[str, str], float]
+    table: Table
+
+    @property
+    def toss_mean(self) -> float:
+        """TOSS average across all cases (paper: 1.78x)."""
+        return float(np.mean(list(self.toss.values())))
+
+    @property
+    def toss_max(self) -> float:
+        """TOSS worst case (paper: up to 3.8x)."""
+        return float(max(self.toss.values()))
+
+    @property
+    def reap_mean(self) -> float:
+        """REAP average across all combinations (paper: 2.5x)."""
+        return float(np.mean(list(self.reap_avg.values())))
+
+    @property
+    def reap_worst(self) -> float:
+        """REAP worst case (paper: up to 13x)."""
+        return float(max(self.reap_max.values()))
+
+
+def run(
+    *,
+    function_names: list[str] | None = None,
+    iterations: int = 3,
+    seed_base: int = 300,
+) -> Fig8Result:
+    """Measure normalised total invocation times for the suite."""
+    names = function_names or suite_names()
+    table = Table(
+        "Figure 8: total invocation time normalized to warm DRAM execution",
+        ["function", "input", "toss", "reap avg", "reap max"],
+        precision=2,
+    )
+    toss: dict[tuple[str, str], float] = {}
+    reap_avg: dict[tuple[str, str], float] = {}
+    reap_max: dict[tuple[str, str], float] = {}
+    for name in names:
+        toss_system = toss_cached(name, ALL_INPUTS)
+        for exec_idx, label in enumerate(INPUT_LABELS):
+            warm = warm_time_cached(name, exec_idx)
+            toss_t = np.mean(
+                [
+                    toss_system.invoke(exec_idx, seed_base + it).total_time_s
+                    for it in range(iterations)
+                ]
+            )
+            reap_times = []
+            for snap_idx in range(len(INPUT_LABELS)):
+                t = np.mean(
+                    [
+                        reap_cached(name, snap_idx)
+                        .invoke(exec_idx, seed_base + it)
+                        .total_time_s
+                        for it in range(iterations)
+                    ]
+                )
+                reap_times.append(t / warm)
+            key = (name, label)
+            toss[key] = float(toss_t / warm)
+            reap_avg[key] = float(np.mean(reap_times))
+            reap_max[key] = float(np.max(reap_times))
+            table.add_row(name, label, toss[key], reap_avg[key], reap_max[key])
+    return Fig8Result(
+        toss=toss, reap_avg=reap_avg, reap_max=reap_max, table=table
+    )

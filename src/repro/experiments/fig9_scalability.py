@@ -1,0 +1,123 @@
+"""Figure 9: execution-time slowdown under concurrent invocations.
+
+Runs 1/5/10/20 concurrent invocations of each function with execution
+input IV and reports the mean contended execution time normalised to the
+warm single-invocation DRAM time, for TOSS (minimum-cost snapshot), REAP
+Best (same snapshot and execution input) and REAP Worst (snapshot input
+I).
+
+Paper headline at 20-way: REAP Worst averages 3.79x (up to 19x —
+image_processing leaves the chart); TOSS averages 1.95x (up to 4.2x) and
+beats REAP Worst on 8 of 10 functions; pagerank under TOSS scales like
+DRAM because its intense working set stayed in DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..platform.scheduler import Scheduler
+from ..report import SeriesSet, Table
+from .common import (
+    ALL_INPUTS,
+    dram_cached,
+    reap_cached,
+    suite_names,
+    toss_cached,
+    warm_time_cached,
+)
+
+__all__ = ["Fig9Result", "CONCURRENCY_LEVELS", "run"]
+
+CONCURRENCY_LEVELS = (1, 5, 10, 20)
+"""The paper's concurrency ladder (20 cores, hyperthreading off)."""
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Normalised execution slowdown per (system, function, concurrency)."""
+
+    slowdown: dict[tuple[str, str, int], float]
+    table: Table
+    figure: SeriesSet
+
+    def at(self, system: str, concurrency: int) -> dict[str, float]:
+        """Per-function slowdowns of one system at one concurrency."""
+        return {
+            name: sd
+            for (sys_name, name, c), sd in self.slowdown.items()
+            if sys_name == system and c == concurrency
+        }
+
+    def mean_at(self, system: str, concurrency: int) -> float:
+        """Mean slowdown across functions."""
+        return float(np.mean(list(self.at(system, concurrency).values())))
+
+    def max_at(self, system: str, concurrency: int) -> float:
+        """Worst function's slowdown."""
+        return float(max(self.at(system, concurrency).values()))
+
+    def toss_wins_vs_reap_worst(self, concurrency: int = 20) -> int:
+        """Functions where TOSS beats REAP Worst (paper: 8 of 10)."""
+        toss = self.at("toss", concurrency)
+        reap = self.at("reap-worst", concurrency)
+        return sum(1 for n in toss if toss[n] <= reap[n])
+
+
+def run(
+    *,
+    function_names: list[str] | None = None,
+    concurrency_levels: tuple[int, ...] = CONCURRENCY_LEVELS,
+    exec_input: int = 3,
+    seed_base: int = 500,
+) -> Fig9Result:
+    """Measure the concurrency scaling of TOSS and REAP."""
+    names = function_names or suite_names()
+    sched = Scheduler()
+    table = Table(
+        "Figure 9: execution slowdown under concurrency "
+        "(normalized to warm DRAM)",
+        ["function", "system", *(f"C={c}" for c in concurrency_levels)],
+        precision=2,
+    )
+    figure = SeriesSet(
+        "Figure 9 summary: mean slowdown across functions",
+        x_label="concurrent invocations",
+        y_label="slowdown vs warm DRAM",
+    )
+    slowdown: dict[tuple[str, str, int], float] = {}
+    systems = {
+        "dram": lambda name: dram_cached(name),
+        "toss": lambda name: toss_cached(name, ALL_INPUTS),
+        "reap-best": lambda name: reap_cached(name, exec_input),
+        "reap-worst": lambda name: reap_cached(name, 0),
+    }
+    for name in names:
+        warm = warm_time_cached(name, exec_input)
+        for sys_name, factory in systems.items():
+            system = factory(name)
+            row: list[object] = [name, sys_name]
+            for c in concurrency_levels:
+                result = sched.run_concurrent(
+                    system, exec_input, c, seed_base=seed_base
+                )
+                sd = result.mean_exec_s / warm
+                slowdown[(sys_name, name, c)] = float(sd)
+                row.append(float(sd))
+            table.add_row(*row)
+    for sys_name in systems:
+        figure.add(
+            sys_name,
+            list(concurrency_levels),
+            [
+                float(
+                    np.mean(
+                        [slowdown[(sys_name, n, c)] for n in names]
+                    )
+                )
+                for c in concurrency_levels
+            ],
+        )
+    return Fig9Result(slowdown=slowdown, table=table, figure=figure)

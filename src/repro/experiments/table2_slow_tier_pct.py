@@ -1,0 +1,69 @@
+"""Table II: memory offloaded to the slow tier at minimum cost.
+
+Paper values: 92 % offloaded on average, five functions fully offloaded,
+pagerank the outlier at 49.1 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..report import Table
+from .common import ALL_INPUTS, suite_names, toss_cached
+
+__all__ = ["Table2Result", "PAPER_SLOW_PCT", "run"]
+
+PAPER_SLOW_PCT: dict[str, float] = {
+    "lr_serving": 94.8,
+    "lr_training": 100.0,
+    "matmul": 92.0,
+    "image_processing": 100.0,
+    "float_operation": 94.0,
+    "json_load_dump": 100.0,
+    "pyaes": 94.7,
+    "linpack": 95.9,
+    "compress": 100.0,
+    "pagerank": 49.1,
+}
+"""The paper's Table II, for side-by-side reporting."""
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Slow-tier percentages at the minimum-cost configuration."""
+
+    slow_pct: dict[str, float]
+    table: Table
+
+    @property
+    def mean_pct(self) -> float:
+        """Average offloaded share (paper: 92 %)."""
+        return float(np.mean(list(self.slow_pct.values())))
+
+    @property
+    def fully_offloaded(self) -> list[str]:
+        """Functions with (effectively) all memory in the slow tier."""
+        return [n for n, p in self.slow_pct.items() if p >= 99.5]
+
+
+def run(
+    *,
+    function_names: list[str] | None = None,
+    profiling_inputs: tuple[int, ...] = ALL_INPUTS,
+) -> Table2Result:
+    """Slow-tier share per function at minimum cost."""
+    names = function_names or suite_names()
+    table = Table(
+        "Table II: memory offloaded to the slow tier (minimum-cost config)",
+        ["function", "slow tier % (ours)", "slow tier % (paper)"],
+        precision=1,
+    )
+    slow_pct: dict[str, float] = {}
+    for name in names:
+        system = toss_cached(name, profiling_inputs)
+        pct = 100.0 * system.slow_fraction
+        slow_pct[name] = pct
+        table.add_row(name, pct, PAPER_SLOW_PCT.get(name, float("nan")))
+    return Table2Result(slow_pct=slow_pct, table=table)

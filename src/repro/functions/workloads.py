@@ -1,0 +1,51 @@
+"""Table I as data.
+
+Exposes the paper's workload catalogue (function, description, memory,
+input type, inputs) in a machine-readable form for reports and benchmarks,
+plus helpers to iterate the full (function x input) evaluation grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .base import FunctionModel, INPUT_LABELS
+from .suite import SUITE
+
+__all__ = ["Table1Row", "table1", "evaluation_grid"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    name: str
+    description: str
+    memory_mb: int
+    input_type: str
+    inputs: tuple[str, ...]
+
+
+def table1() -> list[Table1Row]:
+    """The paper's Table I, reconstructed from the suite models."""
+    return [
+        Table1Row(
+            name=f.name,
+            description=f.description,
+            memory_mb=f.guest_mb,
+            input_type=f.input_type,
+            inputs=tuple(spec.label for spec in f.inputs),
+        )
+        for f in SUITE
+    ]
+
+
+def evaluation_grid() -> Iterator[tuple[FunctionModel, int, str]]:
+    """Yield every (function, input_index, input_label) evaluation point.
+
+    This is the 10x4 grid every figure of Section VI sweeps.
+    """
+    for func in SUITE:
+        for idx, label in enumerate(INPUT_LABELS):
+            yield func, idx, label

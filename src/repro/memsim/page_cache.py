@@ -1,0 +1,146 @@
+"""Host page-cache model.
+
+The evaluation drops the host page cache between invocations (Section VI-A)
+so that every run pays real storage accesses; ``HostPageCache.drop()`` models
+that.  The cache matters for two pathologies the paper calls out:
+
+* ``mincore()``-based working-set capture (FaaSnap) counts *prefetched* pages
+  that were never touched by the guest, inflating the working set
+  (Section III-C) — the cache tracks which resident pages were populated by
+  readahead rather than by demand faults.
+* Repeated invocations without a drop serve demand loads as minor faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import config
+from ..errors import AddressSpaceError
+
+__all__ = ["HostPageCache"]
+
+
+class HostPageCache:
+    """Per-snapshot-file host page cache at page granularity.
+
+    The cache is indexed by page offset within one backing file.  Pages can
+    be resident for two reasons: a demand fault brought them in, or kernel
+    readahead prefetched them alongside a faulted neighbour.
+    """
+
+    def __init__(self, n_pages: int, *, readahead_pages: int = 8) -> None:
+        if n_pages <= 0:
+            raise AddressSpaceError("page cache must cover at least one page")
+        if readahead_pages < 0:
+            raise AddressSpaceError("readahead window must be non-negative")
+        self.n_pages = int(n_pages)
+        self.readahead_pages = int(readahead_pages)
+        self._resident = np.zeros(self.n_pages, dtype=bool)
+        self._prefetched = np.zeros(self.n_pages, dtype=bool)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently resident (demand-loaded or prefetched)."""
+        return int(self._resident.sum())
+
+    @property
+    def prefetched_pages(self) -> int:
+        """Number of resident pages that were populated only by readahead."""
+        return int(self._prefetched.sum())
+
+    def is_resident(self, pages: np.ndarray) -> np.ndarray:
+        """Boolean residency mask for an array of page indices."""
+        pages = np.asarray(pages, dtype=np.int64)
+        self._check(pages)
+        return self._resident[pages]
+
+    def resident_mask(self) -> np.ndarray:
+        """Copy of the full residency bitmap (what ``mincore()`` reports)."""
+        return self._resident.copy()
+
+    def demand_loaded_mask(self) -> np.ndarray:
+        """Residency bitmap excluding readahead-only pages (true touches)."""
+        return self._resident & ~self._prefetched
+
+    # -- mutations ----------------------------------------------------------
+
+    def fault_in(self, pages: np.ndarray) -> int:
+        """Demand-fault ``pages`` in; apply readahead around each miss.
+
+        Returns the number of pages that actually missed (i.e. required
+        device I/O).  Faults are processed in address order, so within one
+        batch readahead already covers the next ``readahead_pages`` pages
+        after each miss — a sequential sweep of N pages costs roughly
+        ``N / (readahead_pages + 1)`` misses, as on a real kernel.
+        """
+        pages = np.unique(np.asarray(pages, dtype=np.int64))
+        self._check(pages)
+        candidates = pages[~self._resident[pages]]
+        misses = 0
+        if self.readahead_pages and candidates.size:
+            stride = self.readahead_pages + 1
+            # Process contiguous runs of candidate pages; coverage carries
+            # across small gaps via ``covered_until``.
+            boundaries = np.flatnonzero(np.diff(candidates) > 1) + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [candidates.size]])
+            covered_until = -1
+            for si, ei in zip(starts.tolist(), ends.tolist()):
+                run_start = int(candidates[si])
+                run_end = int(candidates[ei - 1]) + 1
+                first_miss = max(run_start, covered_until)
+                if first_miss >= run_end:
+                    continue  # the whole run was prefetched earlier
+                k = -(-(run_end - first_miss) // stride)  # ceil division
+                misses += k
+                covered_until = first_miss + k * stride
+                # Pages past the run's end covered by the last readahead.
+                tail_end = min(self.n_pages, covered_until)
+                if tail_end > run_end:
+                    window = np.arange(run_end, tail_end)
+                    newly = window[~self._resident[window]]
+                    self._resident[newly] = True
+                    self._prefetched[newly] = True
+        else:
+            misses = int(candidates.size)
+        self._resident[candidates] = True
+        # A demand-faulted page is a genuine touch even if readahead got
+        # there first: clear the prefetched flag for all faulted pages.
+        self._prefetched[pages] = False
+        return misses
+
+    def populate_range(self, start_page: int, n_pages: int) -> None:
+        """Mark a contiguous range resident via bulk (sequential) load.
+
+        Used by REAP-style working-set prefetch: the pages are resident but
+        *not* flagged as prefetched-by-readahead because they were loaded
+        deliberately.
+        """
+        if start_page < 0 or n_pages < 0 or start_page + n_pages > self.n_pages:
+            raise AddressSpaceError(
+                f"range [{start_page}, {start_page + n_pages}) outside cache of "
+                f"{self.n_pages} pages"
+            )
+        self._resident[start_page : start_page + n_pages] = True
+        self._prefetched[start_page : start_page + n_pages] = False
+
+    def drop(self) -> None:
+        """Drop the cache (``echo 3 > /proc/sys/vm/drop_caches``)."""
+        self._resident[:] = False
+        self._prefetched[:] = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check(self, pages: np.ndarray) -> None:
+        if pages.size and (pages.min() < 0 or pages.max() >= self.n_pages):
+            raise AddressSpaceError(
+                f"page index outside cache of {self.n_pages} pages"
+            )
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes resident in the cache."""
+        return self.resident_pages * config.PAGE_SIZE

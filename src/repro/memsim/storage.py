@@ -1,0 +1,106 @@
+"""Block-storage model for snapshot files.
+
+Models the Optane SSD of the evaluation platform: sequential bandwidth for
+bulk reads (REAP's working-set prefetch) and an IOPS budget for random 4 KiB
+demand loads (lazy-restore page faults).  The device keeps running totals so
+experiments can report how much I/O each restore strategy caused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import config
+from ..errors import ConfigError
+
+__all__ = ["StorageSpec", "StorageDevice", "DEFAULT_SSD"]
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Device characteristics of the snapshot storage device."""
+
+    name: str
+    seq_read_bps: float
+    seq_write_bps: float
+    random_read_iops: float
+    random_write_iops: float
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("seq_read_bps", self.seq_read_bps),
+            ("seq_write_bps", self.seq_write_bps),
+            ("random_read_iops", self.random_read_iops),
+            ("random_write_iops", self.random_write_iops),
+        ):
+            if value <= 0:
+                raise ConfigError(f"{self.name}: {label} must be positive")
+
+    @property
+    def random_read_latency_s(self) -> float:
+        """Average device-side latency of one 4 KiB random read."""
+        return 1.0 / self.random_read_iops
+
+
+OPTANE_SSD_SPEC = StorageSpec(
+    name="Intel Optane DC SSD",
+    seq_read_bps=config.SSD_SEQ_READ_BPS,
+    seq_write_bps=config.SSD_SEQ_WRITE_BPS,
+    random_read_iops=config.SSD_RANDOM_READ_IOPS,
+    random_write_iops=config.SSD_RANDOM_WRITE_IOPS,
+)
+
+
+@dataclass
+class StorageDevice:
+    """A storage device instance with I/O accounting.
+
+    All timing methods are pure functions of the spec; the mutable part is
+    only the accounting (bytes/ops served), which experiments read out.
+    """
+
+    spec: StorageSpec = OPTANE_SSD_SPEC
+    bytes_read: int = 0
+    bytes_written: int = 0
+    random_reads: int = 0
+    random_writes: int = 0
+
+    def sequential_read_time(self, nbytes: int) -> float:
+        """Seconds to stream ``nbytes`` sequentially from the device."""
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        self.bytes_read += nbytes
+        return nbytes / self.spec.seq_read_bps
+
+    def sequential_write_time(self, nbytes: int) -> float:
+        """Seconds to stream ``nbytes`` sequentially to the device."""
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        self.bytes_written += nbytes
+        return nbytes / self.spec.seq_write_bps
+
+    def random_read_time(self, n_pages: int, *, concurrency: int = 1) -> float:
+        """Seconds of device time to serve ``n_pages`` random 4 KiB reads.
+
+        ``concurrency`` is the number of invocations simultaneously issuing
+        faults; the IOPS budget is shared, so per-invocation service rate
+        shrinks once the device saturates (Figure 9's REAP-Worst cliff).
+        """
+        if n_pages < 0:
+            raise ConfigError("n_pages must be non-negative")
+        if concurrency < 1:
+            raise ConfigError("concurrency must be >= 1")
+        self.random_reads += n_pages
+        self.bytes_read += n_pages * config.PAGE_SIZE
+        effective_iops = self.spec.random_read_iops / concurrency
+        return n_pages / effective_iops
+
+    def reset_counters(self) -> None:
+        """Zero the I/O accounting (used between experiment repetitions)."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.random_reads = 0
+        self.random_writes = 0
+
+
+DEFAULT_SSD = StorageDevice()

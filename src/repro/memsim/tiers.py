@@ -1,0 +1,183 @@
+"""Memory tiers: device characteristics and the two-tier memory system.
+
+The paper's cost formula (Equation 1) and all timing results depend only on
+each tier's load/store latency, shared throughput, and price per MB.
+``TierSpec`` captures those; :class:`MemorySystem` bundles a fast and a slow
+tier and answers the latency/cost queries the rest of the simulator needs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import config
+from ..errors import ConfigError
+
+__all__ = ["Tier", "TierSpec", "MemorySystem", "DEFAULT_MEMORY_SYSTEM",
+           "DRAM_SPEC", "PMEM_SPEC"]
+
+
+class Tier(enum.IntEnum):
+    """Identity of a memory tier.
+
+    ``FAST`` is the small, expensive tier (DRAM in the paper) and ``SLOW``
+    the dense, cheap tier (Optane PMEM in the paper).  The integer values
+    are used directly as indices into per-tier numpy arrays.
+    """
+
+    FAST = 0
+    SLOW = 1
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Device characteristics of one memory tier.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name (e.g. ``"DDR4 DRAM"``).
+    load_latency_s / store_latency_s:
+        Average unloaded latency of one memory-level (LLC-miss) load/store.
+    bandwidth_bps:
+        Total sustainable bandwidth shared by all concurrent invocations.
+    access_bytes:
+        Bytes moved per access (64 B cachelines on DRAM, 256 B internal
+        granularity on Optane).
+    cost_per_mb:
+        Relative price per MB.  Only ratios matter; the paper uses
+        fast:slow = 2.5 (Section VI-B).
+    random_penalty:
+        Multiplier on ``load_latency_s`` for random (non-serial) access
+        patterns; DRAM is 1.0, Optane suffers more (Section V-C).
+    read_ops_cap / write_ops_cap:
+        Sustainable operations/s of the whole tier before queueing sets in
+        (``inf`` = never binds).  These drive the Figure 9 concurrency
+        collapse: Optane's loaded latency explodes near saturation.
+    """
+
+    name: str
+    load_latency_s: float
+    store_latency_s: float
+    bandwidth_bps: float
+    access_bytes: int
+    cost_per_mb: float
+    random_penalty: float = 1.0
+    read_ops_cap: float = math.inf
+    write_ops_cap: float = math.inf
+
+    def __post_init__(self) -> None:
+        positive = {
+            "load_latency_s": self.load_latency_s,
+            "store_latency_s": self.store_latency_s,
+            "bandwidth_bps": self.bandwidth_bps,
+            "access_bytes": self.access_bytes,
+            "cost_per_mb": self.cost_per_mb,
+            "read_ops_cap": self.read_ops_cap,
+            "write_ops_cap": self.write_ops_cap,
+        }
+        for label, value in positive.items():
+            if value <= 0:
+                raise ConfigError(f"{self.name}: {label} must be positive")
+        if self.random_penalty < 1.0:
+            raise ConfigError(f"{self.name}: random penalty must be >= 1")
+
+    def effective_load_latency_s(self, random_fraction: float = 0.0) -> float:
+        """Load latency when ``random_fraction`` of accesses stride
+        unpredictably (the rest are serial)."""
+        if not 0.0 <= random_fraction <= 1.0:
+            raise ConfigError("random_fraction must lie in [0, 1]")
+        serial = 1.0 - random_fraction
+        return self.load_latency_s * (serial + random_fraction * self.random_penalty)
+
+    def effective_access_latency_s(
+        self, random_fraction: float = 0.0, store_fraction: float = 0.0
+    ) -> float:
+        """Blended latency of one access given random and store mixes."""
+        if not 0.0 <= store_fraction <= 1.0:
+            raise ConfigError("store_fraction must lie in [0, 1]")
+        load = self.effective_load_latency_s(random_fraction)
+        return (1.0 - store_fraction) * load + store_fraction * self.store_latency_s
+
+
+DRAM_SPEC = TierSpec(
+    name="DDR4 DRAM",
+    load_latency_s=config.DRAM_LOAD_LATENCY_S,
+    store_latency_s=config.DRAM_STORE_LATENCY_S,
+    bandwidth_bps=config.DRAM_BANDWIDTH_BPS,
+    access_bytes=config.CACHELINE_BYTES,
+    cost_per_mb=config.COST_RATIO_FAST_OVER_SLOW,
+    random_penalty=1.0,
+)
+
+PMEM_SPEC = TierSpec(
+    name="Intel Optane PMEM",
+    load_latency_s=config.PMEM_LOAD_LATENCY_S,
+    store_latency_s=config.PMEM_STORE_LATENCY_S,
+    bandwidth_bps=config.PMEM_BANDWIDTH_BPS,
+    access_bytes=config.PMEM_ACCESS_BYTES,
+    cost_per_mb=1.0,
+    random_penalty=config.PMEM_RANDOM_PENALTY,
+    read_ops_cap=config.PMEM_READ_OPS_CAP,
+    write_ops_cap=config.PMEM_WRITE_OPS_CAP,
+)
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """A two-tier main memory: one fast and one slow tier.
+
+    The single source of truth for per-tier latency and price, consumed by
+    the execution engine (:mod:`repro.vm.microvm`), the cost model
+    (:mod:`repro.core.cost`) and the contention model
+    (:mod:`repro.memsim.bandwidth`).
+    """
+
+    fast: TierSpec
+    slow: TierSpec
+
+    def __post_init__(self) -> None:
+        if self.slow.load_latency_s < self.fast.load_latency_s:
+            raise ConfigError("slow tier must not be faster than the fast tier")
+        if self.slow.cost_per_mb > self.fast.cost_per_mb:
+            raise ConfigError("slow tier must not cost more than the fast tier")
+
+    def spec(self, tier: Tier | int) -> TierSpec:
+        """Return the :class:`TierSpec` for a tier id."""
+        return self.fast if Tier(tier) == Tier.FAST else self.slow
+
+    @property
+    def cost_ratio(self) -> float:
+        """Price ratio fast/slow (2.5 in the paper)."""
+        return self.fast.cost_per_mb / self.slow.cost_per_mb
+
+    @property
+    def optimal_normalized_cost(self) -> float:
+        """Normalized cost of all-slow placement at zero slowdown (0.4)."""
+        return 1.0 / self.cost_ratio
+
+    def access_latencies(
+        self, random_fraction: float = 0.0, store_fraction: float = 0.0
+    ) -> np.ndarray:
+        """Per-tier effective access latency, indexable by :class:`Tier`."""
+        return np.array(
+            [
+                self.fast.effective_access_latency_s(random_fraction, store_fraction),
+                self.slow.effective_access_latency_s(random_fraction, store_fraction),
+            ]
+        )
+
+    def latency_ratio(
+        self, random_fraction: float = 0.0, store_fraction: float = 0.0
+    ) -> float:
+        """Slow/fast access-latency ratio (~3.75 for loads on DRAM/Optane)."""
+        lat = self.access_latencies(random_fraction, store_fraction)
+        return float(lat[Tier.SLOW] / lat[Tier.FAST])
+
+
+DEFAULT_MEMORY_SYSTEM = MemorySystem(fast=DRAM_SPEC, slow=PMEM_SPEC)
+"""The paper's evaluation platform: DDR4 fast tier, Optane PMEM slow tier."""

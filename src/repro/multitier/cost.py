@@ -1,0 +1,42 @@
+"""Equation 1 over N tiers.
+
+    cost = SDown * sum_i MB_i * Cost_i
+
+normalised to the everything-on-tier-0 configuration, exactly as the
+paper's two-tier normalisation.  The floor is the cheapest rung's price
+ratio at zero slowdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .system import TierLadder
+
+__all__ = ["multi_tier_cost"]
+
+
+def multi_tier_cost(
+    slowdown: float,
+    fractions: np.ndarray | list[float],
+    ladder: TierLadder,
+) -> float:
+    """Normalised N-tier memory cost.
+
+    ``fractions[i]`` is the share of guest memory on rung ``i``; the
+    shares must sum to 1.
+    """
+    if slowdown < 1.0:
+        raise AnalysisError(f"slowdown {slowdown} below 1.0 is not meaningful")
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if fractions.shape != (ladder.n_tiers,):
+        raise AnalysisError(
+            f"need one fraction per tier ({ladder.n_tiers}), got "
+            f"{fractions.shape}"
+        )
+    if np.any(fractions < -1e-12):
+        raise AnalysisError("fractions must be non-negative")
+    if abs(float(fractions.sum()) - 1.0) > 1e-6:
+        raise AnalysisError("fractions must sum to 1")
+    return float(slowdown * (fractions * ladder.price_ratios()).sum())

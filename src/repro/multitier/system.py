@@ -1,0 +1,82 @@
+"""Ordered ladders of memory tiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..memsim.presets import CXL_DDR4_SPEC, NVME_AS_MEMORY_SPEC
+from ..memsim.tiers import DRAM_SPEC, PMEM_SPEC, TierSpec
+
+__all__ = ["TierLadder", "DRAM_CXL_NVME", "DRAM_PMEM_NVME"]
+
+
+@dataclass(frozen=True)
+class TierLadder:
+    """An ordered set of memory tiers, fastest (and priciest) first.
+
+    Tier 0 plays the role the paper's fast tier plays; every further rung
+    must be at least as slow and at most as expensive as its predecessor,
+    so "demote one rung" is always a price-for-latency trade.
+    """
+
+    tiers: tuple[TierSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.tiers) < 2:
+            raise ConfigError("a ladder needs at least two tiers")
+        for above, below in zip(self.tiers, self.tiers[1:]):
+            if below.load_latency_s < above.load_latency_s:
+                raise ConfigError(
+                    f"{below.name} is faster than {above.name}: ladder must "
+                    "be ordered fastest first"
+                )
+            if below.cost_per_mb > above.cost_per_mb:
+                raise ConfigError(
+                    f"{below.name} costs more than {above.name}: ladder must "
+                    "be ordered priciest first"
+                )
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of rungs."""
+        return len(self.tiers)
+
+    def spec(self, tier: int) -> TierSpec:
+        """The spec of one rung (0 = fastest)."""
+        return self.tiers[tier]
+
+    def price_ratios(self) -> np.ndarray:
+        """Per-tier price relative to tier 0 (<= 1, non-increasing)."""
+        top = self.tiers[0].cost_per_mb
+        return np.array([t.cost_per_mb / top for t in self.tiers])
+
+    @property
+    def optimal_normalized_cost(self) -> float:
+        """Everything on the cheapest rung at zero slowdown."""
+        return float(self.price_ratios()[-1])
+
+    def access_latencies(
+        self, random_fraction: float = 0.0, store_fraction: float = 0.0
+    ) -> np.ndarray:
+        """Per-tier effective access latency, indexable by rung."""
+        return np.array(
+            [
+                t.effective_access_latency_s(random_fraction, store_fraction)
+                for t in self.tiers
+            ]
+        )
+
+
+DRAM_CXL_NVME = TierLadder(
+    tiers=(DRAM_SPEC, CXL_DDR4_SPEC, NVME_AS_MEMORY_SPEC)
+)
+"""A modern three-rung ladder: local DRAM, CXL-attached DDR4, NVMe."""
+
+DRAM_PMEM_NVME = TierLadder(
+    tiers=(DRAM_SPEC, PMEM_SPEC, NVME_AS_MEMORY_SPEC)
+)
+"""The paper's platform extended with an NVMe capacity rung."""

@@ -1,0 +1,34 @@
+"""Serverless platform substrate.
+
+* :mod:`~repro.platform.scheduler` — concurrent-invocation execution with
+  shared-resource contention (drives Figure 9).
+* :mod:`~repro.platform.arrival` — request arrival processes (Poisson,
+  fixed-rate, bursty) for end-to-end platform simulations.
+* :mod:`~repro.platform.server` — a registry-based platform serving
+  request streams through any of the systems under evaluation.
+"""
+
+from .scheduler import ConcurrencyResult, Scheduler
+from .arrival import poisson_arrivals, fixed_arrivals, bursty_arrivals
+from .server import FunctionDeployment, ServerlessPlatform, RequestLogEntry
+from .keepalive import CacheEntry, KeepAliveCache
+from .capacity import HostCapacity, ResidentVM, packing_density
+from .prewarm import ArrivalPredictor, PrewarmPolicy
+
+__all__ = [
+    "ConcurrencyResult",
+    "Scheduler",
+    "poisson_arrivals",
+    "fixed_arrivals",
+    "bursty_arrivals",
+    "FunctionDeployment",
+    "ServerlessPlatform",
+    "RequestLogEntry",
+    "CacheEntry",
+    "KeepAliveCache",
+    "HostCapacity",
+    "ResidentVM",
+    "packing_density",
+    "ArrivalPredictor",
+    "PrewarmPolicy",
+]

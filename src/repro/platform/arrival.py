@@ -1,0 +1,59 @@
+"""Request arrival processes.
+
+Serverless invocation patterns range from fixed-interval timers to bursty,
+effectively random traffic (Section II-B).  These generators produce
+arrival timestamps for the end-to-end platform simulation; TOSS's design
+is deliberately insensitive to the distribution (profiling starts after
+the first invocation regardless, Section IV-A), which the integration
+tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchedulerError
+
+__all__ = ["poisson_arrivals", "fixed_arrivals", "bursty_arrivals"]
+
+
+def poisson_arrivals(
+    rate_per_s: float, horizon_s: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Poisson process: exponential inter-arrival times at ``rate_per_s``."""
+    if rate_per_s <= 0 or horizon_s <= 0:
+        raise SchedulerError("rate and horizon must be positive")
+    expected = rate_per_s * horizon_s
+    n_draw = int(expected + 6 * np.sqrt(expected) + 16)
+    gaps = rng.exponential(1.0 / rate_per_s, size=n_draw)
+    times = np.cumsum(gaps)
+    while times.size and times[-1] < horizon_s:
+        extra = rng.exponential(1.0 / rate_per_s, size=n_draw)
+        times = np.concatenate([times, times[-1] + np.cumsum(extra)])
+    return times[times < horizon_s]
+
+
+def fixed_arrivals(interval_s: float, horizon_s: float) -> np.ndarray:
+    """Fixed-interval timer invocations."""
+    if interval_s <= 0 or horizon_s <= 0:
+        raise SchedulerError("interval and horizon must be positive")
+    return np.arange(0.0, horizon_s, interval_s)
+
+
+def bursty_arrivals(
+    burst_size: int,
+    burst_interval_s: float,
+    horizon_s: float,
+    rng: np.random.Generator,
+    *,
+    intra_burst_spread_s: float = 0.01,
+) -> np.ndarray:
+    """Bursts of near-simultaneous requests at regular intervals."""
+    if burst_size < 1 or burst_interval_s <= 0 or horizon_s <= 0:
+        raise SchedulerError("burst parameters must be positive")
+    starts = np.arange(0.0, horizon_s, burst_interval_s)
+    times = (
+        starts[:, None]
+        + rng.uniform(0.0, intra_burst_spread_s, size=(starts.size, burst_size))
+    ).ravel()
+    return np.sort(times[times < horizon_s])

@@ -1,0 +1,116 @@
+"""Host memory capacity packing: how many VMs fit.
+
+The provider-side motivation of the paper (Section III: DRAM is 40-50 %
+of server cost) cashes out as packing density — a host has a DRAM budget
+and a (cheaper, larger) slow-tier budget, and every concurrently resident
+VM pins memory in both.  With DRAM-only snapshots a VM pins its full
+guest size in DRAM; with TOSS it pins only its fast fraction there and
+the rest in the slow tier.
+
+:class:`HostCapacity` answers admission questions for a set of resident
+VMs; :func:`packing_density` measures the multiplier TOSS buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulerError
+
+__all__ = ["ResidentVM", "HostCapacity", "packing_density"]
+
+
+@dataclass(frozen=True)
+class ResidentVM:
+    """Memory pinned by one resident (running or kept-warm) VM."""
+
+    name: str
+    fast_mb: float
+    slow_mb: float
+
+    def __post_init__(self) -> None:
+        if self.fast_mb < 0 or self.slow_mb < 0:
+            raise SchedulerError("pinned memory must be non-negative")
+        if self.fast_mb + self.slow_mb <= 0:
+            raise SchedulerError("a VM must pin some memory")
+
+
+class HostCapacity:
+    """A host's two-tier memory budget with admission control."""
+
+    def __init__(self, fast_mb: float, slow_mb: float) -> None:
+        if fast_mb <= 0 or slow_mb < 0:
+            raise SchedulerError("host needs a positive fast-tier budget")
+        self.fast_mb = float(fast_mb)
+        self.slow_mb = float(slow_mb)
+        self._resident: list[ResidentVM] = []
+
+    @property
+    def used_fast_mb(self) -> float:
+        """DRAM pinned by resident VMs."""
+        return sum(vm.fast_mb for vm in self._resident)
+
+    @property
+    def used_slow_mb(self) -> float:
+        """Slow-tier memory pinned by resident VMs."""
+        return sum(vm.slow_mb for vm in self._resident)
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident VMs."""
+        return len(self._resident)
+
+    def fits(self, vm: ResidentVM) -> bool:
+        """Whether the VM fits in the remaining budget."""
+        return (
+            self.used_fast_mb + vm.fast_mb <= self.fast_mb + 1e-9
+            and self.used_slow_mb + vm.slow_mb <= self.slow_mb + 1e-9
+        )
+
+    def admit(self, vm: ResidentVM) -> bool:
+        """Admit the VM if it fits; returns success."""
+        if not self.fits(vm):
+            return False
+        self._resident.append(vm)
+        return True
+
+    def release(self, name: str) -> bool:
+        """Release the first resident VM with the given name."""
+        for i, vm in enumerate(self._resident):
+            if vm.name == name:
+                del self._resident[i]
+                return True
+        return False
+
+    def fill_with(self, vm: ResidentVM, limit: int = 100_000) -> int:
+        """Admit copies of ``vm`` until the host is full; returns count."""
+        admitted = 0
+        while admitted < limit and self.admit(
+            ResidentVM(f"{vm.name}#{admitted}", vm.fast_mb, vm.slow_mb)
+        ):
+            admitted += 1
+        return admitted
+
+
+def packing_density(
+    guest_mb: float,
+    slow_fraction: float,
+    *,
+    host_fast_mb: float,
+    host_slow_mb: float,
+) -> tuple[int, int]:
+    """(DRAM-only count, tiered count) of identical VMs a host holds.
+
+    DRAM-only pins the full guest in the fast tier; the tiered VM pins
+    ``(1 - slow_fraction) * guest`` there and the rest in the slow tier.
+    """
+    if not 0.0 <= slow_fraction <= 1.0:
+        raise SchedulerError("slow_fraction must lie in [0, 1]")
+    dram_only = HostCapacity(host_fast_mb, host_slow_mb).fill_with(
+        ResidentVM("dram", guest_mb, 0.0)
+    )
+    fast = max(guest_mb * (1.0 - slow_fraction), 1e-6)
+    tiered = HostCapacity(host_fast_mb, host_slow_mb).fill_with(
+        ResidentVM("tiered", fast, guest_mb * slow_fraction)
+    )
+    return dram_only, tiered

@@ -1,0 +1,128 @@
+"""Concurrent-invocation scheduling with shared-resource contention.
+
+The evaluation platform has 20 physical cores with hyperthreading off
+(Section VI-E), so up to 20 invocations run truly in parallel; what they
+share is memory bandwidth, SSD IOPS and the VMM's fault handlers.  The
+scheduler runs ``C`` cold invocations of one system, collects their
+resource demand vectors, and solves the contention fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchedulerError
+from ..memsim.bandwidth import ContentionModel
+from ..memsim.storage import OPTANE_SSD_SPEC, StorageSpec
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..baselines.base import ServerlessSystem
+
+__all__ = ["ConcurrencyResult", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class ConcurrencyResult:
+    """Outcome of running C concurrent invocations of one system."""
+
+    system: str
+    concurrency: int
+    exec_times_s: tuple[float, ...]
+    setup_times_s: tuple[float, ...]
+    inflation: dict[str, float]
+
+    @property
+    def mean_exec_s(self) -> float:
+        """Mean contended execution time across the invocations."""
+        return sum(self.exec_times_s) / len(self.exec_times_s)
+
+    @property
+    def max_exec_s(self) -> float:
+        """Slowest contended execution time."""
+        return max(self.exec_times_s)
+
+    @property
+    def saturated_resource(self) -> str:
+        """The resource with the highest inflation factor."""
+        return max(self.inflation, key=self.inflation.get)
+
+
+class Scheduler:
+    """Runs concurrent invocation batches under contention."""
+
+    def __init__(
+        self,
+        *,
+        n_cores: int = 20,
+        memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+        ssd: StorageSpec = OPTANE_SSD_SPEC,
+    ) -> None:
+        if n_cores < 1:
+            raise SchedulerError("need at least one core")
+        self.n_cores = n_cores
+        self.memory = memory
+        self.contention = ContentionModel(memory, ssd)
+
+    def run_concurrent(
+        self,
+        system: ServerlessSystem,
+        input_index: int,
+        concurrency: int,
+        *,
+        seed_base: int = 0,
+    ) -> ConcurrencyResult:
+        """Execute ``concurrency`` cold invocations simultaneously.
+
+        Each invocation gets a distinct seed (distinct allocation jitter),
+        mirroring the paper's concurrent same-function load.  Raises if
+        asked for more parallelism than there are cores: the evaluation
+        never oversubscribes vCPUs.
+        """
+        if not 1 <= concurrency <= self.n_cores:
+            raise SchedulerError(
+                f"concurrency {concurrency} outside 1..{self.n_cores} cores"
+            )
+        outcomes = [
+            system.invoke(input_index, seed_base + i) for i in range(concurrency)
+        ]
+        demands = [o.execution.demand for o in outcomes]
+        times = self.contention.contended_times(demands)
+        inflation = self.contention.inflation_factors(demands)
+        return ConcurrencyResult(
+            system=system.name,
+            concurrency=concurrency,
+            exec_times_s=tuple(times),
+            setup_times_s=tuple(o.setup_time_s for o in outcomes),
+            inflation=inflation,
+        )
+
+    def run_mixed(
+        self,
+        batch: list[tuple[ServerlessSystem, int]],
+        *,
+        seed_base: int = 0,
+    ) -> ConcurrencyResult:
+        """Execute a heterogeneous batch of (system, input) invocations.
+
+        Real peak load mixes functions (the platform of Section II runs
+        many tenants at once); resource contention couples them all.  The
+        batch size is bounded by the core count as in
+        :meth:`run_concurrent`.
+        """
+        if not 1 <= len(batch) <= self.n_cores:
+            raise SchedulerError(
+                f"batch of {len(batch)} outside 1..{self.n_cores} cores"
+            )
+        outcomes = [
+            system.invoke(input_index, seed_base + i)
+            for i, (system, input_index) in enumerate(batch)
+        ]
+        demands = [o.execution.demand for o in outcomes]
+        times = self.contention.contended_times(demands)
+        inflation = self.contention.inflation_factors(demands)
+        return ConcurrencyResult(
+            system="+".join(sorted({s.name for s, _ in batch})),
+            concurrency=len(batch),
+            exec_times_s=tuple(times),
+            setup_times_s=tuple(o.setup_time_s for o in outcomes),
+            inflation=inflation,
+        )

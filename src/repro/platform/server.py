@@ -1,0 +1,237 @@
+"""End-to-end serverless platform simulation.
+
+Ties the pieces together the way a provider would: functions are deployed
+onto a platform, requests arrive on a schedule, each request is served by
+the function's TOSS controller (walking it through initial execution,
+profiling, and tiered serving), cores are a finite resource, and every
+request is billed through the pricing model.
+
+This is the integration surface — the per-figure experiments drive the
+lower layers directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import config
+from ..core.toss import InvocationOutcome, Phase, TossConfig, TossController
+from ..errors import SchedulerError
+from ..functions.base import FunctionModel
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..pricing.billing import TieredBill, bill_invocation
+from ..vm.microvm import MicroVM
+from .keepalive import KeepAliveCache
+from .prewarm import PrewarmPolicy
+
+__all__ = ["FunctionDeployment", "RequestLogEntry", "ServerlessPlatform"]
+
+
+@dataclass
+class FunctionDeployment:
+    """One deployed function and its TOSS controller."""
+
+    function: FunctionModel
+    controller: TossController
+    invocations: int = 0
+
+
+@dataclass(frozen=True)
+class RequestLogEntry:
+    """One served request."""
+
+    function: str
+    input_index: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    phase: Phase
+    setup_time_s: float
+    exec_time_s: float
+    bill: TieredBill
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent waiting for a free core."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-finish latency."""
+        return self.finish_s - self.arrival_s
+
+
+class ServerlessPlatform:
+    """A core-limited platform serving request streams through TOSS."""
+
+    def __init__(
+        self,
+        *,
+        n_cores: int = 20,
+        memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+        toss_cfg: TossConfig | None = None,
+        keepalive: "KeepAliveCache | None" = None,
+        prewarm: "PrewarmPolicy | None" = None,
+    ) -> None:
+        if n_cores < 1:
+            raise SchedulerError("need at least one core")
+        self.n_cores = n_cores
+        self.memory = memory
+        self.toss_cfg = toss_cfg if toss_cfg is not None else TossConfig()
+        self.keepalive = keepalive
+        self.prewarm = prewarm
+        self.deployments: dict[str, FunctionDeployment] = {}
+        self.log: list[RequestLogEntry] = []
+
+    # -- deployment ------------------------------------------------------------
+
+    def deploy(self, function: FunctionModel) -> FunctionDeployment:
+        """Register a function; idempotent per name."""
+        if function.name not in self.deployments:
+            self.deployments[function.name] = FunctionDeployment(
+                function=function,
+                controller=TossController(
+                    function, memory=self.memory, cfg=self.toss_cfg
+                ),
+            )
+        return self.deployments[function.name]
+
+    # -- serving ----------------------------------------------------------------
+
+    def serve(
+        self,
+        requests: list[tuple[float, str, int]],
+    ) -> list[RequestLogEntry]:
+        """Serve ``(arrival_s, function_name, input_index)`` requests.
+
+        Requests queue for cores FIFO per arrival order; each is served to
+        completion on one core (vCPU pinning, no preemption).  Returns the
+        log entries appended for this batch.
+        """
+        for _, name, _ in requests:
+            if name not in self.deployments:
+                raise SchedulerError(f"function {name!r} not deployed")
+        cores = [0.0] * self.n_cores
+        heapq.heapify(cores)
+        batch: list[RequestLogEntry] = []
+        for arrival, name, input_index in sorted(requests, key=lambda r: r[0]):
+            dep = self.deployments[name]
+            free_at = heapq.heappop(cores)
+            start = max(arrival, free_at)
+            outcome = self._invoke(dep, input_index)
+            dep.invocations += 1
+            # Predictive pre-warming hides the restore of a correctly
+            # anticipated tiered invocation (Section VI-A: "TOSS can load
+            # the VM before the predicted function execution").
+            if self.prewarm is not None:
+                # Only tiered restores can be pre-launched.
+                hidden = (
+                    outcome.phase is Phase.TIERED
+                    and self.prewarm.would_hide_setup(
+                        name, arrival, outcome.setup_time_s
+                    )
+                )
+                self.prewarm.observe(name, arrival)
+                if hidden:
+                    outcome = InvocationOutcome(
+                        phase=outcome.phase,
+                        input_index=outcome.input_index,
+                        seed=outcome.seed,
+                        setup_time_s=0.0,
+                        exec_time_s=outcome.exec_time_s,
+                        slow_fraction=outcome.slow_fraction,
+                        analysis_generated=outcome.analysis_generated,
+                    )
+            finish = start + outcome.total_time_s
+            heapq.heappush(cores, finish)
+            bill = bill_invocation(
+                guest_mb=dep.function.guest_mb,
+                duration_s=outcome.total_time_s,
+                slow_fraction=outcome.slow_fraction,
+                slowdown=(
+                    dep.controller.analysis.expected_slowdown
+                    if outcome.phase is Phase.TIERED and dep.controller.analysis
+                    else 1.0
+                ),
+                memory=self.memory,
+            )
+            batch.append(
+                RequestLogEntry(
+                    function=name,
+                    input_index=input_index,
+                    arrival_s=arrival,
+                    start_s=start,
+                    finish_s=finish,
+                    phase=outcome.phase,
+                    setup_time_s=outcome.setup_time_s,
+                    exec_time_s=outcome.exec_time_s,
+                    bill=bill,
+                )
+            )
+        self.log.extend(batch)
+        return batch
+
+    # -- keep-alive integration ----------------------------------------------------
+
+    def _invoke(self, dep: FunctionDeployment, input_index: int):
+        """Serve one invocation, warm-starting from the keep-alive cache
+        when possible (Section VI-A: "TOSS can keep the VM alive on both
+        tiers until evicted")."""
+        ctl = dep.controller
+        if (
+            self.keepalive is not None
+            and ctl.phase is Phase.TIERED
+            and self.keepalive.lookup(dep.function.name)
+        ):
+            # Warm tiered start: the VM is resident on both tiers, so no
+            # restore happens — execution still pays slow-tier latency.
+            snapshot = ctl.tiered_snapshot
+            vm = MicroVM(
+                dep.function.n_pages,
+                memory=self.memory,
+                placement=snapshot.placement(),
+                page_versions=snapshot.base.page_versions,
+            )
+            trace = dep.function.trace(input_index, dep.invocations)
+            result = vm.execute(trace)
+            ctl.reprofile.observe(result.time_s)
+            outcome = InvocationOutcome(
+                phase=Phase.TIERED,
+                input_index=input_index,
+                seed=dep.invocations,
+                setup_time_s=0.0,
+                exec_time_s=result.time_s,
+                slow_fraction=snapshot.slow_fraction,
+            )
+        else:
+            outcome = ctl.invoke(input_index)
+        if self.keepalive is not None and ctl.phase is Phase.TIERED:
+            snapshot = ctl.tiered_snapshot
+            self.keepalive.admit(
+                dep.function.name,
+                fast_mb=max(
+                    1e-3, dep.function.guest_mb * (1.0 - snapshot.slow_fraction)
+                ),
+                init_cost_s=max(outcome.setup_time_s, config.VM_STATE_LOAD_S),
+            )
+        return outcome
+
+    # -- reporting ---------------------------------------------------------------
+
+    def total_billed(self) -> float:
+        """Total tiered bill across the log."""
+        return sum(e.bill.tiered_cost for e in self.log)
+
+    def total_dram_billed(self) -> float:
+        """What the same log would have cost on DRAM-only plans."""
+        return sum(e.bill.dram_cost for e in self.log)
+
+    def savings_fraction(self) -> float:
+        """Fraction of the DRAM-only bill saved by tiering."""
+        dram = self.total_dram_billed()
+        if dram == 0:
+            return 0.0
+        return 1.0 - self.total_billed() / dram

@@ -1,0 +1,237 @@
+"""Dependency-free SVG rendering for tables and series.
+
+The benchmark harness emits text tables; this module turns the same
+structures into standalone SVG figures (grouped bar charts for tables,
+line charts for series sets) so the repository can regenerate *visual*
+counterparts of the paper's figures without any plotting dependency.
+
+    svg = bars_to_svg(table, label_column="function", value_columns=["cost"])
+    pathlib.Path("fig5.svg").write_text(svg)
+
+The renderer is deliberately small: linear scales, one axis per chart,
+a categorical palette, and labels — enough to read the shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ConfigError
+from .report import SeriesSet, Table
+
+__all__ = ["bars_to_svg", "series_to_svg"]
+
+PALETTE = (
+    "#4c78a8",
+    "#f58518",
+    "#54a24b",
+    "#e45756",
+    "#72b7b2",
+    "#eeca3b",
+    "#b279a2",
+    "#9d755d",
+)
+
+WIDTH = 920
+HEIGHT = 420
+MARGIN_LEFT = 70
+MARGIN_RIGHT = 20
+MARGIN_TOP = 46
+MARGIN_BOTTOM = 110
+
+
+def _esc(text: object) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_ticks(vmax: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [0, vmax]."""
+    if vmax <= 0:
+        return [0.0, 1.0]
+    raw = vmax / n
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    top = step * math.ceil(vmax / step)
+    ticks = []
+    value = 0.0
+    while value <= top + step / 2:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _frame(title: str, x_label: str, y_label: str, body: str,
+           legend: str) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="12">\n'
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>\n'
+        f'<text x="{WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{_esc(title)}</text>\n'
+        f'<text x="{WIDTH / 2}" y="{HEIGHT - 6}" text-anchor="middle">'
+        f"{_esc(x_label)}</text>\n"
+        f'<text x="16" y="{HEIGHT / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {HEIGHT / 2})">{_esc(y_label)}</text>\n'
+        f"{body}\n{legend}\n</svg>\n"
+    )
+
+
+def _axes(ticks: list[float], vmax: float) -> tuple[str, callable]:
+    plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+
+    def y_of(value: float) -> float:
+        return MARGIN_TOP + plot_h * (1 - value / vmax)
+
+    parts = [
+        f'<line x1="{MARGIN_LEFT}" y1="{MARGIN_TOP}" x2="{MARGIN_LEFT}" '
+        f'y2="{MARGIN_TOP + plot_h}" stroke="black"/>',
+        f'<line x1="{MARGIN_LEFT}" y1="{MARGIN_TOP + plot_h}" '
+        f'x2="{MARGIN_LEFT + plot_w}" y2="{MARGIN_TOP + plot_h}" '
+        f'stroke="black"/>',
+    ]
+    for tick in ticks:
+        y = y_of(tick)
+        parts.append(
+            f'<line x1="{MARGIN_LEFT - 4}" y1="{y:.1f}" x2="{MARGIN_LEFT + plot_w}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{tick:g}</text>'
+        )
+    return "\n".join(parts), y_of
+
+
+def _legend(labels: list[str]) -> str:
+    parts = []
+    x = MARGIN_LEFT
+    y = MARGIN_TOP - 14
+    for i, label in enumerate(labels):
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 14}" y="{y}">{_esc(label)}</text>'
+        )
+        x += 18 + 7 * len(label)
+    return "\n".join(parts)
+
+
+def bars_to_svg(
+    table: Table,
+    *,
+    label_column: str,
+    value_columns: list[str] | None = None,
+    y_label: str = "",
+) -> str:
+    """Render a table as a grouped bar chart.
+
+    ``label_column`` provides the category axis; every ``value_column``
+    (default: all numeric columns) becomes one bar series.
+    """
+    if not table.rows:
+        raise ConfigError("cannot plot an empty table")
+    labels = [str(v) for v in table.column(label_column)]
+    if value_columns is None:
+        value_columns = [
+            h
+            for h in table.headers
+            if h != label_column
+            and all(isinstance(v, (int, float)) for v in table.column(h))
+        ]
+    if not value_columns:
+        raise ConfigError("no numeric columns to plot")
+    series = {c: [float(v) for v in table.column(c)] for c in value_columns}
+
+    vmax = max(max(vs) for vs in series.values())
+    ticks = _nice_ticks(vmax)
+    vmax = ticks[-1]
+    axes, y_of = _axes(ticks, vmax)
+
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_bottom = HEIGHT - MARGIN_BOTTOM
+    group_w = plot_w / len(labels)
+    bar_w = max(2.0, 0.8 * group_w / len(value_columns))
+
+    bars = []
+    for g, label in enumerate(labels):
+        x0 = MARGIN_LEFT + g * group_w + 0.1 * group_w
+        for s, column in enumerate(value_columns):
+            value = series[column][g]
+            x = x0 + s * bar_w
+            y = y_of(value)
+            bars.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{plot_bottom - y:.1f}" '
+                f'fill="{PALETTE[s % len(PALETTE)]}"/>'
+            )
+        cx = MARGIN_LEFT + (g + 0.5) * group_w
+        bars.append(
+            f'<text x="{cx:.1f}" y="{plot_bottom + 12}" text-anchor="end" '
+            f'transform="rotate(-40 {cx:.1f} {plot_bottom + 12})">'
+            f"{_esc(label)}</text>"
+        )
+    return _frame(
+        table.title, label_column, y_label or "/".join(value_columns),
+        axes + "\n" + "\n".join(bars), _legend(value_columns),
+    )
+
+
+def series_to_svg(series_set: SeriesSet) -> str:
+    """Render a series set as a line chart with markers."""
+    if not series_set.series:
+        raise ConfigError("cannot plot an empty series set")
+    xs = [x for s in series_set.series for x in s.x]
+    ys = [y for s in series_set.series for y in s.y]
+    if not xs:
+        raise ConfigError("series contain no points")
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    ticks = _nice_ticks(max(ys))
+    vmax = ticks[-1]
+    axes, y_of = _axes(ticks, vmax)
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+
+    def x_of(value: float) -> float:
+        return MARGIN_LEFT + plot_w * (value - x_min) / (x_max - x_min)
+
+    parts = []
+    for i, s in enumerate(series_set.series):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(
+            f"{x_of(x):.1f},{y_of(y):.1f}" for x, y in zip(s.x, s.y)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in zip(s.x, s.y):
+            parts.append(
+                f'<circle cx="{x_of(x):.1f}" cy="{y_of(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+    for x in sorted(set(xs)):
+        parts.append(
+            f'<text x="{x_of(x):.1f}" y="{HEIGHT - MARGIN_BOTTOM + 16}" '
+            f'text-anchor="middle">{x:g}</text>'
+        )
+    return _frame(
+        series_set.title,
+        series_set.x_label,
+        series_set.y_label,
+        axes + "\n" + "\n".join(parts),
+        _legend([s.label for s in series_set.series]),
+    )

@@ -1,0 +1,78 @@
+"""Tiered billing (Section III-D).
+
+When part of a function's memory lives in the slow tier, the platform's
+cost of ownership drops and it can offer a dynamically reduced plan.  The
+reduction follows Equation 1: the per-MB rate becomes the capacity-weighted
+blend of the tier prices, and the slowdown lengthens the billable
+duration.  In the worst case (all DRAM, no slowdown) the bill equals the
+current single-tier plan — users never pay more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from .vendors import AWS_LAMBDA, VendorPlan
+
+__all__ = ["TieredBill", "bill_invocation"]
+
+
+@dataclass(frozen=True)
+class TieredBill:
+    """Single-tier vs tiered bill for one invocation."""
+
+    dram_cost: float
+    tiered_cost: float
+    slow_fraction: float
+    slowdown: float
+
+    @property
+    def savings_fraction(self) -> float:
+        """Relative saving versus the DRAM-only plan (>= 0 by design)."""
+        if self.dram_cost == 0:
+            return 0.0
+        return 1.0 - self.tiered_cost / self.dram_cost
+
+
+def bill_invocation(
+    *,
+    guest_mb: float,
+    duration_s: float,
+    slow_fraction: float,
+    slowdown: float = 1.0,
+    plan: VendorPlan = AWS_LAMBDA,
+    memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+) -> TieredBill:
+    """Bill one invocation under both plans.
+
+    ``duration_s`` is the invocation as observed (already slowed down);
+    the DRAM reference duration is recovered by dividing the slowdown out,
+    so the comparison matches Equation 1's structure.
+    """
+    if not 0.0 <= slow_fraction <= 1.0:
+        raise ConfigError("slow_fraction must lie in [0, 1]")
+    if slowdown < 1.0:
+        raise ConfigError("slowdown must be >= 1")
+    dram_duration = duration_s / slowdown
+    dram_cost = plan.invocation_cost(guest_mb, dram_duration)
+
+    # Blended per-MB price, normalised so all-fast costs exactly the
+    # vendor rate (users never pay more than today's plans).
+    fast_fraction = 1.0 - slow_fraction
+    blend = fast_fraction + slow_fraction / memory.cost_ratio
+    tiered_rate = plan.rate_per_mb_ms * blend
+    tiered_plan = VendorPlan(
+        name=f"{plan.name}-tiered",
+        rate_per_mb_ms=tiered_rate,
+        billing_quantum_ms=plan.billing_quantum_ms,
+        per_request=plan.per_request,
+    )
+    tiered_cost = tiered_plan.invocation_cost(guest_mb, duration_s)
+    return TieredBill(
+        dram_cost=dram_cost,
+        tiered_cost=tiered_cost,
+        slow_fraction=slow_fraction,
+        slowdown=slowdown,
+    )

@@ -1,0 +1,74 @@
+"""Vendor bundle pricing models (Section II-D).
+
+Cloud vendors sell vCPU+memory bundles in fixed memory sizes (multiples of
+128 MB) billed per unit of storage per unit of time: Lambda rounds billing
+to 1 ms, Cloud Functions to 100 ms.  The rates below are relative units —
+only ratios matter for the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import config
+from ..errors import ConfigError
+
+__all__ = ["VendorPlan", "AWS_LAMBDA", "GCP_CLOUD_FUNCTIONS", "bundle_mb"]
+
+
+def bundle_mb(required_mb: float) -> int:
+    """Smallest vendor bundle (multiple of 128 MB) covering a requirement."""
+    if required_mb <= 0:
+        raise ConfigError("memory requirement must be positive")
+    return config.MEMORY_BUNDLE_MB * math.ceil(
+        required_mb / config.MEMORY_BUNDLE_MB
+    )
+
+
+@dataclass(frozen=True)
+class VendorPlan:
+    """A single-tier vendor pricing plan.
+
+    ``rate_per_mb_ms`` is the price per MB per millisecond;
+    ``billing_quantum_ms`` is the granularity the duration is rounded up
+    to; ``per_request`` is the flat per-invocation charge.
+    """
+
+    name: str
+    rate_per_mb_ms: float
+    billing_quantum_ms: float
+    per_request: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_mb_ms <= 0 or self.billing_quantum_ms <= 0:
+            raise ConfigError(f"{self.name}: rates must be positive")
+        if self.per_request < 0:
+            raise ConfigError(f"{self.name}: per-request charge must be >= 0")
+
+    def billable_ms(self, duration_s: float) -> float:
+        """Duration rounded up to the billing quantum, in ms."""
+        if duration_s < 0:
+            raise ConfigError("duration must be non-negative")
+        ms = duration_s * 1e3
+        quanta = math.ceil(ms / self.billing_quantum_ms) if ms > 0 else 1
+        return quanta * self.billing_quantum_ms
+
+    def invocation_cost(self, memory_mb: float, duration_s: float) -> float:
+        """Single-tier bill for one invocation on this plan."""
+        mb = bundle_mb(memory_mb)
+        return (
+            mb * self.billable_ms(duration_s) * self.rate_per_mb_ms
+            + self.per_request
+        )
+
+
+AWS_LAMBDA = VendorPlan(
+    name="aws-lambda", rate_per_mb_ms=1.0, billing_quantum_ms=1.0
+)
+"""Lambda-style: any 128 MB multiple, billed per 1 ms."""
+
+GCP_CLOUD_FUNCTIONS = VendorPlan(
+    name="gcp-cloud-functions", rate_per_mb_ms=1.0, billing_quantum_ms=100.0
+)
+"""Cloud-Functions-style: billed per 100 ms."""

@@ -1,0 +1,226 @@
+"""DAMON (Data Access MONitor) simulator.
+
+Implements DAMON's actual algorithm over simulated execution epochs:
+
+* The address space is partitioned into regions.  Every *sampling
+  interval* DAMON picks one random page per region, clears its accessed
+  bit, and checks it one interval later; a set bit increments the region's
+  ``nr_accesses``.
+* Every *aggregation interval* the counters are emitted and reset, and the
+  region set adapts: adjacent regions with similar ``nr_accesses`` merge,
+  and regions are randomly split in two (subject to a minimum region size
+  and a maximum region count).
+
+We vectorise the inner loop: for an epoch of duration ``D`` containing
+``n = D / sampling_interval`` checks, the number of positive checks in a
+region is ``Binomial(n, p)`` where ``p`` is the mean, over the region's
+pages, of the probability that a page is accessed within one sampling
+interval (``1 - exp(-rate * interval)``).  This reproduces both DAMON's
+estimation error (sparse accesses are under-observed — which is exactly
+why TOSS's "zero-accessed" offloading is safe but not free) and its
+region-granularity artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import config
+from ..errors import ProfilingError
+from ..regions import Region
+from ..vm.microvm import EpochRecord
+
+__all__ = ["DamonConfig", "DamonSnapshot", "DamonProfiler"]
+
+
+@dataclass(frozen=True)
+class DamonConfig:
+    """DAMON tuning knobs (paper values in Section VI-A)."""
+
+    sampling_interval_s: float = config.DAMON_SAMPLING_INTERVAL_S
+    min_region_pages: int = config.DAMON_MIN_REGION_BYTES // config.PAGE_SIZE
+    min_nr_regions: int = 10
+    max_nr_regions: int = 1000
+    merge_threshold: float = 0.1
+    """Adjacent regions merge when their nr_accesses differ by at most this
+    fraction of the hotter of the pair (with a one-observation floor)."""
+
+    access_bit_scale: float = config.DAMON_ACCESS_BIT_SCALE
+    """Touches per trace count (accessed bits are set by cache hits too)."""
+
+    def __post_init__(self) -> None:
+        if self.sampling_interval_s <= 0:
+            raise ProfilingError("sampling interval must be positive")
+        if self.min_region_pages < 1:
+            raise ProfilingError("minimum region must be at least one page")
+        if not 1 <= self.min_nr_regions <= self.max_nr_regions:
+            raise ProfilingError("need 1 <= min_nr_regions <= max_nr_regions")
+
+
+@dataclass(frozen=True)
+class DamonSnapshot:
+    """One invocation's aggregated DAMON output (a "DAMON file").
+
+    ``regions`` partition the guest; each region's ``value`` is the total
+    ``nr_accesses`` observed for it across the invocation's aggregation
+    windows, and ``samples`` is the total number of checks taken, so
+    ``value / samples`` is an access-probability estimate.
+    """
+
+    n_pages: int
+    regions: tuple[Region, ...]
+    samples: int
+
+    def page_values(self) -> np.ndarray:
+        """Expand to a dense per-page observed-access array."""
+        out = np.zeros(self.n_pages, dtype=np.float64)
+        for region in self.regions:
+            out[region.start_page : region.end_page] = region.value
+        return out
+
+    @property
+    def observed_pages(self) -> int:
+        """Pages inside regions with a non-zero observation."""
+        return sum(r.n_pages for r in self.regions if r.value > 0)
+
+
+class DamonProfiler:
+    """Stateful DAMON instance attached to one guest address space."""
+
+    def __init__(
+        self,
+        n_pages: int,
+        cfg: DamonConfig = DamonConfig(),
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_pages <= 0:
+            raise ProfilingError("guest must have at least one page")
+        self.n_pages = int(n_pages)
+        self.cfg = cfg
+        self.rng = rng if rng is not None else np.random.default_rng(config.DEFAULT_SEED)
+        # Region state as parallel arrays of boundaries: starts[i]..starts[i+1].
+        self._bounds = self._initial_bounds()
+
+    def _initial_bounds(self) -> np.ndarray:
+        n = min(
+            self.cfg.min_nr_regions,
+            max(1, self.n_pages // self.cfg.min_region_pages),
+        )
+        bounds = np.linspace(0, self.n_pages, n + 1).astype(np.int64)
+        return np.unique(bounds)
+
+    @property
+    def n_regions(self) -> int:
+        """Current number of monitoring regions."""
+        return len(self._bounds) - 1
+
+    def region_list(self, values: np.ndarray | None = None) -> list[Region]:
+        """Current regions, optionally annotated with values."""
+        out = []
+        for i in range(self.n_regions):
+            start = int(self._bounds[i])
+            n = int(self._bounds[i + 1] - start)
+            v = float(values[i]) if values is not None else 0.0
+            out.append(Region(start, n, v))
+        return out
+
+    # -- profiling ------------------------------------------------------------
+
+    def profile(self, epochs: tuple[EpochRecord, ...] | list[EpochRecord]) -> DamonSnapshot:
+        """Observe one executed invocation; returns its DAMON file.
+
+        Each epoch is treated as one aggregation window; region adaptation
+        (merge then split) runs after every window, as in the kernel.
+        """
+        if not epochs:
+            raise ProfilingError("cannot profile an empty invocation")
+        total = np.zeros(self.n_pages, dtype=np.float64)
+        total_samples = 0
+        for epoch in epochs:
+            values, samples = self._aggregate(epoch)
+            # Spread this window's counters onto pages before adapting, so
+            # the output is independent of later boundary moves.
+            for i in range(self.n_regions):
+                s, e = int(self._bounds[i]), int(self._bounds[i + 1])
+                total[s:e] += values[i]
+            total_samples += samples
+            self._adapt(values, samples)
+        # Re-encode the accumulated per-page observations as regions using
+        # the final boundaries (what the exported DAMON file contains).
+        regions = []
+        for i in range(self.n_regions):
+            s, e = int(self._bounds[i]), int(self._bounds[i + 1])
+            regions.append(Region(s, e - s, float(total[s:e].mean())))
+        return DamonSnapshot(
+            n_pages=self.n_pages, regions=tuple(regions), samples=total_samples
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _aggregate(self, epoch: EpochRecord) -> tuple[np.ndarray, int]:
+        """One aggregation window: per-region nr_accesses estimates."""
+        duration = max(epoch.duration_s, self.cfg.sampling_interval_s)
+        samples = max(1, int(round(duration / self.cfg.sampling_interval_s)))
+        # Per-page probability of being seen accessed in one interval.
+        starts = self._bounds[:-1]
+        sizes = np.diff(self._bounds).astype(np.float64)
+        if epoch.pages.size:
+            rates = epoch.counts * self.cfg.access_bit_scale / duration
+            p_page = -np.expm1(-rates * self.cfg.sampling_interval_s)
+            idx = np.searchsorted(self._bounds, epoch.pages, side="right") - 1
+            p_sum = np.bincount(idx, weights=p_page, minlength=self.n_regions)
+        else:
+            p_sum = np.zeros(self.n_regions)
+        p_region = np.clip(p_sum / sizes, 0.0, 1.0)
+        values = self.rng.binomial(samples, p_region).astype(np.float64)
+        return values, samples
+
+    def _adapt(self, values: np.ndarray, samples: int) -> None:
+        """DAMON's region adaptation: merge similar neighbours, then split.
+
+        The merge test is relative to the hotter of the two neighbours
+        (with a one-observation floor), so a cold-but-nonzero region next
+        to a truly idle one keeps its boundary even when another part of
+        the address space is orders of magnitude hotter.
+        """
+        bounds = self._bounds
+        # Merge pass: drop interior boundaries between similar regions.
+        keep = [0]
+        for i in range(1, len(bounds) - 1):
+            pair_scale = max(values[i], values[i - 1])
+            threshold = max(1.0, self.cfg.merge_threshold * pair_scale)
+            if abs(values[i] - values[i - 1]) > threshold:
+                keep.append(i)
+            else:
+                # Region i merges into i-1; propagate the weighted value so
+                # chains of similar regions merge transitively.
+                left_pages = bounds[i] - bounds[keep[-1]]
+                right_pages = bounds[i + 1] - bounds[i]
+                values[i] = (
+                    values[i - 1] * left_pages + values[i] * right_pages
+                ) / (left_pages + right_pages)
+        keep.append(len(bounds) - 1)
+        bounds = bounds[np.asarray(keep, dtype=np.int64)]
+
+        # Split pass: halve regions at a random point while under the cap.
+        new_bounds = [int(bounds[0])]
+        budget = self.cfg.max_nr_regions - (len(bounds) - 1)
+        for i in range(len(bounds) - 1):
+            start, end = int(bounds[i]), int(bounds[i + 1])
+            size = end - start
+            if budget > 0 and size >= 2 * self.cfg.min_region_pages:
+                lo = start + self.cfg.min_region_pages
+                hi = end - self.cfg.min_region_pages
+                cut = int(self.rng.integers(lo, hi + 1)) if hi >= lo else None
+                if cut is not None and start < cut < end:
+                    new_bounds.append(cut)
+                    budget -= 1
+            new_bounds.append(end)
+        self._bounds = np.unique(np.asarray(new_bounds, dtype=np.int64))
+
+    def reset(self) -> None:
+        """Forget adapted regions (fresh attach)."""
+        self._bounds = self._initial_bounds()

@@ -1,0 +1,77 @@
+"""On-disk DAMON files.
+
+The prototype "uses 100 DAMON files for each input" (Section VI-A): each
+invocation's aggregated monitoring output is persisted and later folded
+into the unified access pattern.  This module provides that persistence —
+a JSON format compatible with what a ``damo record``-style pipeline would
+feed in — so profiling can be decoupled from analysis (profile on one
+host, analyse elsewhere).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from ..errors import ProfilingError
+from ..regions import Region
+from .damon import DamonSnapshot
+from .unified import UnifiedAccessPattern
+
+__all__ = ["save_damon_file", "load_damon_file", "pattern_from_files"]
+
+
+def save_damon_file(snapshot: DamonSnapshot, path: str | pathlib.Path) -> None:
+    """Persist one invocation's DAMON output as JSON."""
+    doc = {
+        "n_pages": snapshot.n_pages,
+        "samples": snapshot.samples,
+        "regions": [
+            {"start": r.start_page, "n_pages": r.n_pages, "nr_accesses": r.value}
+            for r in snapshot.regions
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(doc))
+
+
+def load_damon_file(path: str | pathlib.Path) -> DamonSnapshot:
+    """Read a DAMON file written by :func:`save_damon_file`."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+        regions = tuple(
+            Region(int(r["start"]), int(r["n_pages"]), float(r["nr_accesses"]))
+            for r in doc["regions"]
+        )
+        return DamonSnapshot(
+            n_pages=int(doc["n_pages"]),
+            regions=regions,
+            samples=int(doc["samples"]),
+        )
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        raise ProfilingError(f"malformed DAMON file {path}: {exc}") from exc
+
+
+def pattern_from_files(
+    paths: Iterable[str | pathlib.Path],
+    *,
+    convergence_window: int = 10,
+) -> UnifiedAccessPattern:
+    """Build a unified access pattern from persisted DAMON files.
+
+    Files are folded in path order (the invocation order); the returned
+    pattern carries the usual convergence state, so a caller can check
+    whether the persisted profile had stabilised.
+    """
+    paths = list(paths)
+    if not paths:
+        raise ProfilingError("need at least one DAMON file")
+    first = load_damon_file(paths[0])
+    pattern = UnifiedAccessPattern(
+        first.n_pages, convergence_window=convergence_window
+    )
+    pattern.update(first)
+    for path in paths[1:]:
+        snapshot = load_damon_file(path)
+        pattern.update(snapshot)
+    return pattern

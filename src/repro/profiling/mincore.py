@@ -1,0 +1,31 @@
+"""``mincore()``-based working-set capture (FaaSnap's profiler).
+
+FaaSnap asks the kernel which pages of the snapshot mapping are resident
+after the recording invocation.  Residency conflates demand-faulted pages
+with pages the kernel's readahead prefetched alongside them, so the
+captured working set is *inflated* (Section III-C: "mincore() inflates the
+memory working set by taking into account prefetched pages in the host
+page cache").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProfilingError
+from ..memsim.page_cache import HostPageCache
+
+__all__ = ["mincore_working_set"]
+
+
+def mincore_working_set(page_cache: HostPageCache) -> np.ndarray:
+    """Boolean residency mask as ``mincore()`` reports it.
+
+    Includes readahead-prefetched pages the guest never touched — compare
+    with :attr:`HostPageCache.demand_loaded_mask` for the true touches.
+    """
+    if page_cache is None:
+        raise ProfilingError(
+            "mincore capture needs the page cache of a file-backed run"
+        )
+    return page_cache.resident_mask()

@@ -1,0 +1,116 @@
+"""PEBS-style event sampler (Section II-C / III-C).
+
+Recent tiering systems profile with Intel's Processor Event Based
+Sampling: the PMU records one in every ``sampling_period`` LLC-miss loads
+along with its address.  The paper rejects PEBS for serverless because:
+
+* its overhead is only low at *reduced* sampling frequency, which starves
+  short-running functions of samples;
+* it produces inconsistent results (the PMU drops records under load);
+* it observes only sampled misses, so per-page coverage is far below
+  DAMON's region view for the same budget.
+
+This simulator reproduces those characteristics so the profiling-choice
+ablation (``benchmarks/test_ablation_profilers.py``) can quantify the
+paper's argument rather than assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import config
+from ..errors import ProfilingError
+from ..vm.microvm import EpochRecord
+
+__all__ = ["PebsConfig", "PebsProfiler", "PebsSample"]
+
+
+@dataclass(frozen=True)
+class PebsConfig:
+    """PEBS tuning knobs.
+
+    ``sampling_period`` is the events-per-sample reload value (one record
+    per N LLC misses).  ``overhead_per_sample_s`` charges the record
+    assist + buffer drain; ``drop_rate`` models lost records under bursty
+    load (the inconsistency the paper cites).
+    """
+
+    sampling_period: int = 10_007
+    overhead_per_sample_s: float = 1.2e-6
+    drop_rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.sampling_period < 1:
+            raise ProfilingError("sampling period must be >= 1")
+        if self.overhead_per_sample_s < 0:
+            raise ProfilingError("per-sample overhead must be >= 0")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ProfilingError("drop rate must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class PebsSample:
+    """Aggregated PEBS output for one invocation."""
+
+    n_pages: int
+    page_counts: np.ndarray
+    n_samples: int
+    overhead_s: float
+
+    def page_values(self) -> np.ndarray:
+        """Sampled-miss counts per page (sparse and noisy by design)."""
+        return self.page_counts.astype(np.float64)
+
+    @property
+    def observed_pages(self) -> int:
+        """Pages with at least one sample."""
+        return int(np.count_nonzero(self.page_counts))
+
+
+class PebsProfiler:
+    """Samples one in N memory accesses across an invocation."""
+
+    def __init__(
+        self,
+        n_pages: int,
+        cfg: PebsConfig = PebsConfig(),
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_pages <= 0:
+            raise ProfilingError("guest must have at least one page")
+        self.n_pages = int(n_pages)
+        self.cfg = cfg
+        self.rng = rng if rng is not None else np.random.default_rng(config.DEFAULT_SEED)
+
+    def profile(
+        self, epochs: tuple[EpochRecord, ...] | list[EpochRecord]
+    ) -> PebsSample:
+        """Observe one invocation; returns sampled per-page counts.
+
+        Every access has a ``1/sampling_period`` chance of producing a
+        record; records are then thinned by the drop rate.  The profiling
+        overhead grows with the record count — which is why the paper
+        notes PEBS is only cheap when sampled rarely.
+        """
+        if not epochs:
+            raise ProfilingError("cannot profile an empty invocation")
+        counts = np.zeros(self.n_pages, dtype=np.int64)
+        total_samples = 0
+        keep = 1.0 - self.cfg.drop_rate
+        for epoch in epochs:
+            if epoch.pages.size == 0:
+                continue
+            p = keep / self.cfg.sampling_period
+            sampled = self.rng.binomial(epoch.counts, min(1.0, p))
+            counts[epoch.pages] += sampled
+            total_samples += int(sampled.sum())
+        return PebsSample(
+            n_pages=self.n_pages,
+            page_counts=counts,
+            n_samples=total_samples,
+            overhead_s=total_samples * self.cfg.overhead_per_sample_s,
+        )

@@ -1,0 +1,164 @@
+"""Access-trace data model.
+
+The simulator never replays individual loads (a 1 GB guest would need
+billions); instead each invocation is a handful of *epochs*, each holding a
+sparse histogram of LLC-miss demand loads per page.  That is exactly the
+granularity DAMON aggregates at, and enough to compute execution time under
+any page placement: ``stall = sum(counts * latency(tier(page)))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from .. import config
+from ..errors import AddressSpaceError, ConfigError
+
+__all__ = ["AccessEpoch", "InvocationTrace"]
+
+
+@dataclass(frozen=True)
+class AccessEpoch:
+    """One time slice of an invocation.
+
+    Attributes
+    ----------
+    cpu_time_s:
+        Pure compute time of the slice (cycles not stalled on memory).
+    pages:
+        Sorted, unique guest-page indices touched during the slice.
+    counts:
+        LLC-miss demand loads per page in ``pages`` (same length).
+    random_fraction:
+        Fraction of the slice's accesses that stride unpredictably; slow
+        tiers penalise random access (Section V-C).
+    store_fraction:
+        Fraction of the slice's accesses that are stores; the slow tier's
+        store latency and write throughput are much worse than its reads.
+    """
+
+    cpu_time_s: float
+    pages: np.ndarray
+    counts: np.ndarray
+    random_fraction: float = 0.0
+    store_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        pages = np.asarray(self.pages, dtype=np.int64)
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if pages.shape != counts.shape or pages.ndim != 1:
+            raise ConfigError("pages and counts must be 1-D arrays of equal length")
+        if pages.size:
+            if pages.min() < 0:
+                raise AddressSpaceError("negative page index in epoch")
+            if np.any(np.diff(pages) <= 0):
+                raise ConfigError("epoch pages must be strictly increasing")
+            if counts.min() <= 0:
+                raise ConfigError("epoch counts must be positive")
+        if self.cpu_time_s < 0:
+            raise ConfigError("cpu_time_s must be non-negative")
+        if not 0.0 <= self.random_fraction <= 1.0:
+            raise ConfigError("random_fraction must lie in [0, 1]")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ConfigError("store_fraction must lie in [0, 1]")
+        object.__setattr__(self, "pages", pages)
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def total_accesses(self) -> int:
+        """Total LLC-miss loads in the slice."""
+        return int(self.counts.sum())
+
+    @property
+    def touched_pages(self) -> int:
+        """Number of distinct pages touched in the slice."""
+        return int(self.pages.size)
+
+
+@dataclass(frozen=True)
+class InvocationTrace:
+    """The complete memory behaviour of one function invocation.
+
+    ``n_pages`` is the guest memory size in pages; epochs index into that
+    space.  Traces are immutable; derived views are cached.
+    """
+
+    n_pages: int
+    epochs: tuple[AccessEpoch, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_pages <= 0:
+            raise AddressSpaceError("trace must cover at least one page")
+        epochs = tuple(self.epochs)
+        for epoch in epochs:
+            if epoch.pages.size and epoch.pages.max() >= self.n_pages:
+                raise AddressSpaceError(
+                    f"epoch touches page {int(epoch.pages.max())} outside a "
+                    f"{self.n_pages}-page guest"
+                )
+        object.__setattr__(self, "epochs", epochs)
+
+    # -- aggregate views ----------------------------------------------------
+
+    @cached_property
+    def histogram(self) -> np.ndarray:
+        """Dense per-page access-count histogram over the whole invocation."""
+        hist = np.zeros(self.n_pages, dtype=np.int64)
+        for epoch in self.epochs:
+            hist[epoch.pages] += epoch.counts
+        return hist
+
+    @cached_property
+    def working_set(self) -> np.ndarray:
+        """Sorted indices of pages accessed at least once (the paper's WS)."""
+        return np.flatnonzero(self.histogram)
+
+    @property
+    def working_set_pages(self) -> int:
+        """Working-set size in pages."""
+        return int(self.working_set.size)
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Working-set size in bytes."""
+        return self.working_set_pages * config.PAGE_SIZE
+
+    @property
+    def total_accesses(self) -> int:
+        """Total LLC-miss loads across all epochs."""
+        return sum(e.total_accesses for e in self.epochs)
+
+    @property
+    def cpu_time_s(self) -> float:
+        """Total pure-compute time across all epochs."""
+        return sum(e.cpu_time_s for e in self.epochs)
+
+    @cached_property
+    def mean_random_fraction(self) -> float:
+        """Access-weighted mean of the epochs' random fractions."""
+        total = self.total_accesses
+        if total == 0:
+            return 0.0
+        return (
+            sum(e.random_fraction * e.total_accesses for e in self.epochs) / total
+        )
+
+    def nominal_time_s(self, fast_latency_s: float) -> float:
+        """End-to-end time with every page in a tier of the given latency
+        and no page faults (the all-DRAM warm reference)."""
+        return self.cpu_time_s + self.total_accesses * fast_latency_s
+
+    def first_touch_order(self) -> np.ndarray:
+        """Pages in order of first touch (drives demand-fault sequencing)."""
+        seen: set[int] = set()
+        order: list[int] = []
+        for epoch in self.epochs:
+            for page in epoch.pages.tolist():
+                if page not in seen:
+                    seen.add(page)
+                    order.append(page)
+        return np.asarray(order, dtype=np.int64)

@@ -1,0 +1,124 @@
+"""Trace serialisation.
+
+Users with real profiling data (e.g. a ``damo record`` dump or a custom
+pin tool) can package it as an :class:`~repro.trace.events.InvocationTrace`
+and feed it to the analysis pipeline.  This module provides a compact
+on-disk format (numpy ``.npz``) and a plain-CSV import for hand-made
+traces.
+
+CSV format: one row per (epoch, page) pair::
+
+    epoch,page,count
+    0,4096,17
+    0,4097,3
+    1,4096,25
+
+Epoch metadata (cpu time, random/store fractions) rides in the npz form;
+the CSV import takes them as per-epoch defaults.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+import numpy as np
+
+from ..errors import ConfigError
+from .events import AccessEpoch, InvocationTrace
+
+__all__ = ["save_trace", "load_trace", "trace_from_csv", "trace_to_csv"]
+
+
+def save_trace(trace: InvocationTrace, path: str | pathlib.Path) -> None:
+    """Write a trace to a compact ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = {
+        "n_pages": np.asarray([trace.n_pages], dtype=np.int64),
+        "n_epochs": np.asarray([len(trace.epochs)], dtype=np.int64),
+        "label": np.asarray([trace.label]),
+        "cpu_time_s": np.asarray([e.cpu_time_s for e in trace.epochs]),
+        "random_fraction": np.asarray(
+            [e.random_fraction for e in trace.epochs]
+        ),
+        "store_fraction": np.asarray([e.store_fraction for e in trace.epochs]),
+    }
+    for i, epoch in enumerate(trace.epochs):
+        arrays[f"pages_{i}"] = epoch.pages
+        arrays[f"counts_{i}"] = epoch.counts
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: str | pathlib.Path) -> InvocationTrace:
+    """Read a trace written by :func:`save_trace`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            n_pages = int(data["n_pages"][0])
+            n_epochs = int(data["n_epochs"][0])
+            label = str(data["label"][0])
+            epochs = tuple(
+                AccessEpoch(
+                    cpu_time_s=float(data["cpu_time_s"][i]),
+                    pages=data[f"pages_{i}"],
+                    counts=data[f"counts_{i}"],
+                    random_fraction=float(data["random_fraction"][i]),
+                    store_fraction=float(data["store_fraction"][i]),
+                )
+                for i in range(n_epochs)
+            )
+    except (KeyError, ValueError, OSError) as exc:
+        raise ConfigError(f"malformed trace file {path}: {exc}") from exc
+    return InvocationTrace(n_pages=n_pages, epochs=epochs, label=label)
+
+
+def trace_from_csv(
+    text: str,
+    n_pages: int,
+    *,
+    cpu_time_per_epoch_s: float = 0.01,
+    random_fraction: float = 0.0,
+    store_fraction: float = 0.0,
+    label: str = "csv",
+) -> InvocationTrace:
+    """Build a trace from ``epoch,page,count`` CSV text."""
+    by_epoch: dict[int, dict[int, int]] = {}
+    reader = csv.reader(io.StringIO(text))
+    for lineno, row in enumerate(reader, start=1):
+        if not row or row[0].strip().lower() == "epoch":
+            continue
+        try:
+            epoch, page, count = (int(c) for c in row[:3])
+        except (ValueError, IndexError) as exc:
+            raise ConfigError(f"CSV line {lineno}: {exc}") from exc
+        if count <= 0:
+            raise ConfigError(f"CSV line {lineno}: count must be positive")
+        by_epoch.setdefault(epoch, {})
+        by_epoch[epoch][page] = by_epoch[epoch].get(page, 0) + count
+    if not by_epoch:
+        raise ConfigError("CSV contains no access rows")
+    epochs = []
+    for epoch_id in range(max(by_epoch) + 1):
+        hist = by_epoch.get(epoch_id, {})
+        pages = np.asarray(sorted(hist), dtype=np.int64)
+        counts = np.asarray([hist[p] for p in pages.tolist()], dtype=np.int64)
+        epochs.append(
+            AccessEpoch(
+                cpu_time_s=cpu_time_per_epoch_s,
+                pages=pages,
+                counts=counts,
+                random_fraction=random_fraction,
+                store_fraction=store_fraction,
+            )
+        )
+    return InvocationTrace(n_pages=n_pages, epochs=tuple(epochs), label=label)
+
+
+def trace_to_csv(trace: InvocationTrace) -> str:
+    """Export a trace as ``epoch,page,count`` CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["epoch", "page", "count"])
+    for i, epoch in enumerate(trace.epochs):
+        for page, count in zip(epoch.pages.tolist(), epoch.counts.tolist()):
+            writer.writerow([i, page, count])
+    return out.getvalue()

@@ -1,0 +1,96 @@
+"""Calibration health checks.
+
+The suite models are calibrated against the paper's measurements; this
+module turns those targets into machine-checkable assertions so that a
+model tweak that silently drifts away from the paper is caught
+immediately (``tests/test_validate.py`` runs the cheap checks; the
+benchmark harness covers the full-pipeline ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import DRAM_LOAD_LATENCY_S
+from .functions import SUITE, FunctionModel
+from .memsim.tiers import DEFAULT_MEMORY_SYSTEM
+
+__all__ = ["CalibrationCheck", "check_function", "check_suite"]
+
+# Full-slow-tier slowdown targets for input IV, from Figure 2's shape
+# (see DESIGN.md section 4).  Wide bands: these guard against gross
+# drift, not against retuning.
+FULL_SLOW_TARGETS: dict[str, tuple[float, float]] = {
+    "float_operation": (1.03, 1.20),
+    "pyaes": (1.02, 1.15),
+    "json_load_dump": (1.01, 1.12),
+    "compress": (1.00, 1.05),
+    "linpack": (1.35, 1.80),
+    "matmul": (1.55, 2.00),
+    "image_processing": (1.08, 1.30),
+    "pagerank": (1.90, 2.70),
+    "lr_serving": (1.20, 1.55),
+    "lr_training": (1.08, 1.25),
+}
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """Outcome of one function's calibration check."""
+
+    name: str
+    predicted_full_slow: float
+    target_low: float
+    target_high: float
+    ok: bool
+    notes: tuple[str, ...] = ()
+
+
+def predicted_full_slow_slowdown(function: FunctionModel, input_index: int = 3) -> float:
+    """Closed-form full-slow slowdown from the model parameters.
+
+    ``1 + stall_share * (L_slow_blend / L_fast - 1)`` with the blend over
+    the function's random and store fractions — the identity the suite
+    docstring promises.
+    """
+    spec = function.input_spec(input_index)
+    slow = DEFAULT_MEMORY_SYSTEM.slow.effective_access_latency_s(
+        function.random_fraction, function.store_fraction
+    )
+    return 1.0 + spec.stall_share * (slow / DRAM_LOAD_LATENCY_S - 1.0)
+
+
+def check_function(function: FunctionModel) -> CalibrationCheck:
+    """Validate one function's parameters against its paper targets."""
+    notes = []
+    predicted = predicted_full_slow_slowdown(function)
+    low, high = FULL_SLOW_TARGETS.get(function.name, (1.0, 100.0))
+    ok = low <= predicted <= high
+
+    # Structural sanity independent of targets.
+    times = [s.t_dram_s for s in function.inputs]
+    if times != sorted(times):
+        ok = False
+        notes.append("inputs not ordered by execution time")
+    ws = [s.ws_fraction for s in function.inputs]
+    if ws != sorted(ws):
+        ok = False
+        notes.append("working set not monotone in input")
+    accesses = function.total_accesses(3)
+    if accesses < function.ws_pages(3):
+        notes.append("fewer accesses than WS pages: all-singleton histogram")
+    return CalibrationCheck(
+        name=function.name,
+        predicted_full_slow=predicted,
+        target_low=low,
+        target_high=high,
+        ok=ok,
+        notes=tuple(notes),
+    )
+
+
+def check_suite() -> list[CalibrationCheck]:
+    """Validate every Table I function; all should pass."""
+    return [check_function(f) for f in SUITE]

@@ -1,0 +1,45 @@
+"""Firecracker-like microVM substrate.
+
+Models the parts of Firecracker that TOSS modifies (Section II-A, V-D):
+
+* :mod:`~repro.vm.microvm` — a guest with page-granular placement, backing
+  and residency; executes access traces and charges tier latencies and
+  page-fault costs to simulated time.
+* :mod:`~repro.vm.snapshot` — single-tier snapshot files (vanilla
+  Firecracker / REAP) and tiered snapshots (TOSS's two per-tier files).
+* :mod:`~repro.vm.layout` — the memory-layout file that records, for every
+  region, its tier, its offset within the tier's snapshot file, its guest
+  offset and its size (Section V-D).
+* :mod:`~repro.vm.restore` — the restore strategies under evaluation:
+  lazy (vanilla), working-set prefetch (REAP), tiered (TOSS) and warm.
+* :mod:`~repro.vm.vmm` — VM lifecycle management glue.
+"""
+
+from .microvm import Backing, MicroVM, ExecutionResult
+from .snapshot import SingleTierSnapshot, ReapSnapshot, TieredSnapshot
+from .layout import LayoutEntry, MemoryLayout
+from .restore import (
+    RestoreResult,
+    warm_restore,
+    lazy_restore,
+    reap_restore,
+    tiered_restore,
+)
+from .vmm import VMM
+
+__all__ = [
+    "Backing",
+    "MicroVM",
+    "ExecutionResult",
+    "SingleTierSnapshot",
+    "ReapSnapshot",
+    "TieredSnapshot",
+    "LayoutEntry",
+    "MemoryLayout",
+    "RestoreResult",
+    "warm_restore",
+    "lazy_restore",
+    "reap_restore",
+    "tiered_restore",
+    "VMM",
+]

@@ -1,0 +1,185 @@
+"""Firecracker-style VM lifecycle façade.
+
+Firecracker exposes snapshotting through a small API with strict state
+rules: a microVM must be *paused* before a snapshot is created, snapshots
+are loaded into a *fresh* VMM process, and a loaded VM must be *resumed*
+before it executes.  This module mirrors those semantics (the subset TOSS
+touches) on top of the simulator, so code written against the real API
+shape ports over and lifecycle mistakes fail loudly.
+
+    api = FirecrackerApi()
+    vm_id = api.create_vm(function)
+    api.resume(vm_id)
+    api.run(vm_id, input_index=3)
+    api.pause(vm_id)
+    snap_id = api.snapshot_create(vm_id, kind="full")
+    ...
+    vm2 = api.snapshot_load(snap_id, strategy="toss")
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from .. import config
+from ..errors import VMError
+from ..functions.base import FunctionModel
+from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from .microvm import ExecutionResult, MicroVM
+from .snapshot import ReapSnapshot, SingleTierSnapshot, TieredSnapshot
+from .vmm import VMM
+
+__all__ = ["VmState", "VmHandle", "FirecrackerApi"]
+
+
+class VmState(enum.Enum):
+    """Lifecycle states, matching Firecracker's instance states."""
+
+    NOT_STARTED = "not-started"
+    RUNNING = "running"
+    PAUSED = "paused"
+
+
+@dataclass
+class VmHandle:
+    """One managed microVM instance."""
+
+    vm_id: str
+    function: FunctionModel
+    vm: MicroVM
+    state: VmState
+    setup_time_s: float = 0.0
+    invocations: int = 0
+
+
+class FirecrackerApi:
+    """Snapshot lifecycle management with Firecracker's state rules."""
+
+    def __init__(
+        self,
+        memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+        *,
+        root_seed: int = config.DEFAULT_SEED,
+    ) -> None:
+        self.vmm = VMM(memory, root_seed=root_seed)
+        self._vms: dict[str, VmHandle] = {}
+        self._snapshots: dict[str, object] = {}
+        self._vm_ids = (f"vm-{i}" for i in itertools.count())
+        self._snap_ids = (f"snap-{i}" for i in itertools.count())
+
+    # -- instance lifecycle ---------------------------------------------------
+
+    def create_vm(self, function: FunctionModel) -> str:
+        """Boot a fresh (paused) DRAM-only guest for a function."""
+        boot = self.vmm.boot_and_run(function, 0, 0)
+        # boot_and_run executes once; the API models the boot itself, so
+        # reset residency: the handle starts cold and NOT_STARTED.
+        handle = VmHandle(
+            vm_id=next(self._vm_ids),
+            function=function,
+            vm=boot.vm,
+            state=VmState.NOT_STARTED,
+        )
+        self._vms[handle.vm_id] = handle
+        return handle.vm_id
+
+    def _handle(self, vm_id: str) -> VmHandle:
+        try:
+            return self._vms[vm_id]
+        except KeyError:
+            raise VMError(f"unknown VM {vm_id!r}") from None
+
+    def state(self, vm_id: str) -> VmState:
+        """Current lifecycle state."""
+        return self._handle(vm_id).state
+
+    def resume(self, vm_id: str) -> None:
+        """NOT_STARTED/PAUSED -> RUNNING."""
+        handle = self._handle(vm_id)
+        if handle.state is VmState.RUNNING:
+            raise VMError(f"{vm_id} is already running")
+        handle.state = VmState.RUNNING
+
+    def pause(self, vm_id: str) -> None:
+        """RUNNING -> PAUSED (required before snapshotting)."""
+        handle = self._handle(vm_id)
+        if handle.state is not VmState.RUNNING:
+            raise VMError(f"{vm_id} is not running; cannot pause")
+        handle.state = VmState.PAUSED
+
+    def run(
+        self, vm_id: str, input_index: int, seed: int | None = None
+    ) -> ExecutionResult:
+        """Execute one invocation on a RUNNING instance."""
+        handle = self._handle(vm_id)
+        if handle.state is not VmState.RUNNING:
+            raise VMError(f"{vm_id} is not running; resume it first")
+        if seed is None:
+            seed = handle.invocations
+        handle.invocations += 1
+        trace = handle.function.trace(input_index, seed)
+        return handle.vm.execute(trace)
+
+    def kill(self, vm_id: str) -> None:
+        """Destroy an instance."""
+        self._handle(vm_id)
+        del self._vms[vm_id]
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot_create(self, vm_id: str, *, kind: str = "full") -> str:
+        """Capture a snapshot of a PAUSED instance.
+
+        ``kind`` mirrors the API surface: only ``"full"`` is supported
+        (Firecracker's ``diff`` snapshots are out of scope for TOSS).
+        """
+        if kind != "full":
+            raise VMError(f"unsupported snapshot kind {kind!r}")
+        handle = self._handle(vm_id)
+        if handle.state is not VmState.PAUSED:
+            raise VMError(
+                f"{vm_id} must be paused before snapshot_create "
+                f"(state: {handle.state.value})"
+            )
+        snap = self.vmm.capture_snapshot(handle.vm, label=handle.function.name)
+        snap_id = next(self._snap_ids)
+        self._snapshots[snap_id] = (snap, handle.function)
+        return snap_id
+
+    def register_snapshot(
+        self, snapshot: SingleTierSnapshot | ReapSnapshot | TieredSnapshot,
+        function: FunctionModel,
+    ) -> str:
+        """Register an externally built snapshot (e.g. a TOSS tiered one)."""
+        if snapshot.n_pages != function.n_pages:
+            raise VMError("snapshot does not match the function's guest size")
+        snap_id = next(self._snap_ids)
+        self._snapshots[snap_id] = (snapshot, function)
+        return snap_id
+
+    def snapshot_load(self, snap_id: str, *, strategy: str = "auto") -> str:
+        """Load a snapshot into a fresh (paused) instance."""
+        try:
+            snapshot, function = self._snapshots[snap_id]
+        except KeyError:
+            raise VMError(f"unknown snapshot {snap_id!r}") from None
+        restore = self.vmm.restore(snapshot, strategy)
+        handle = VmHandle(
+            vm_id=next(self._vm_ids),
+            function=function,
+            vm=restore.vm,
+            state=VmState.PAUSED,
+            setup_time_s=restore.setup_time_s,
+        )
+        self._vms[handle.vm_id] = handle
+        return handle.vm_id
+
+    def list_vms(self) -> dict[str, VmState]:
+        """Instance ids and their states."""
+        return {vm_id: h.state for vm_id, h in self._vms.items()}
+
+    def list_snapshots(self) -> list[str]:
+        """Registered snapshot ids."""
+        return sorted(self._snapshots)

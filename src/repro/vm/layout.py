@@ -1,0 +1,197 @@
+"""The tiered memory-layout file (Section V-D).
+
+After TOSS partitions a single-tier snapshot into per-tier files, it writes
+a layout file recording, for every memory region: the tier, the offset
+within that tier's snapshot file, the offset within guest memory, and the
+size.  Restore walks this file and establishes one memory mapping per
+entry, so the number of entries directly determines setup time — which is
+why Section V-F merges adjacent same-tier regions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, asdict
+from typing import Sequence
+
+import numpy as np
+
+from .. import config
+from ..errors import LayoutError
+from ..memsim.tiers import Tier
+from ..regions import Region, merge_adjacent, validate_partition
+
+__all__ = ["LayoutEntry", "MemoryLayout"]
+
+
+@dataclass(frozen=True)
+class LayoutEntry:
+    """One region of the tiered snapshot.
+
+    Attributes mirror the paper's description verbatim: "This information
+    includes the tier, offset within the snapshot file, offset within the
+    guest VM memory and the size of the memory region."
+    """
+
+    tier: int
+    file_offset_page: int
+    guest_start_page: int
+    n_pages: int
+
+    def __post_init__(self) -> None:
+        if self.tier not in (int(Tier.FAST), int(Tier.SLOW)):
+            raise LayoutError(f"unknown tier id {self.tier}")
+        if self.file_offset_page < 0 or self.guest_start_page < 0:
+            raise LayoutError("offsets must be non-negative")
+        if self.n_pages <= 0:
+            raise LayoutError("entry must span at least one page")
+
+    @property
+    def guest_end_page(self) -> int:
+        """One past the entry's last guest page."""
+        return self.guest_start_page + self.n_pages
+
+    @property
+    def size_bytes(self) -> int:
+        """Region size in bytes."""
+        return self.n_pages * config.PAGE_SIZE
+
+
+class MemoryLayout:
+    """An ordered collection of layout entries covering the whole guest."""
+
+    def __init__(self, n_pages: int, entries: Sequence[LayoutEntry]) -> None:
+        if n_pages <= 0:
+            raise LayoutError("layout must cover at least one page")
+        self.n_pages = int(n_pages)
+        self.entries = tuple(
+            sorted(entries, key=lambda e: e.guest_start_page)
+        )
+        self._validate()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_placement(cls, placement: np.ndarray) -> "MemoryLayout":
+        """Build a layout from a dense per-page tier array.
+
+        Adjacent same-tier pages collapse into one entry (Section V-F's
+        bins merging), and file offsets are assigned by copying regions
+        serially into each tier's file, exactly as Section V-D describes.
+        """
+        placement = np.asarray(placement)
+        if placement.ndim != 1 or placement.size == 0:
+            raise LayoutError("placement must be a non-empty 1-D array")
+        regions = merge_adjacent(
+            (r for r in _regions_of(placement)), tolerance=0.0, weighted=False
+        )
+        validate_partition(regions, placement.size)
+        next_offset = {int(Tier.FAST): 0, int(Tier.SLOW): 0}
+        entries = []
+        for region in regions:
+            tier = int(region.value)
+            entries.append(
+                LayoutEntry(
+                    tier=tier,
+                    file_offset_page=next_offset[tier],
+                    guest_start_page=region.start_page,
+                    n_pages=region.n_pages,
+                )
+            )
+            next_offset[tier] += region.n_pages
+        return cls(placement.size, entries)
+
+    # -- queries --------------------------------------------------------------
+
+    def placement(self) -> np.ndarray:
+        """Dense per-page tier array reconstructed from the entries."""
+        out = np.empty(self.n_pages, dtype=np.uint8)
+        for entry in self.entries:
+            out[entry.guest_start_page : entry.guest_end_page] = entry.tier
+        return out
+
+    def pages_in_tier(self, tier: Tier | int) -> int:
+        """Total guest pages mapped to a tier."""
+        tier = int(tier)
+        return sum(e.n_pages for e in self.entries if e.tier == tier)
+
+    def file_pages(self, tier: Tier | int) -> int:
+        """Size of a tier's snapshot file in pages."""
+        return self.pages_in_tier(tier)
+
+    @property
+    def n_mappings(self) -> int:
+        """Memory mappings restore must establish (one per entry)."""
+        return len(self.entries)
+
+    @property
+    def slow_fraction(self) -> float:
+        """Fraction of guest memory placed in the slow tier (Table II)."""
+        return self.pages_in_tier(Tier.SLOW) / self.n_pages
+
+    def parse_time_s(self) -> float:
+        """Simulated cost of reading the layout file at restore."""
+        return self.n_mappings * config.LAYOUT_PARSE_PER_REGION_S
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to the on-disk layout-file format (JSON)."""
+        return json.dumps(
+            {
+                "n_pages": self.n_pages,
+                "entries": [asdict(e) for e in self.entries],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MemoryLayout":
+        """Parse a layout file; raises :class:`LayoutError` on bad input."""
+        try:
+            doc = json.loads(text)
+            entries = [LayoutEntry(**e) for e in doc["entries"]]
+            return cls(doc["n_pages"], entries)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LayoutError(f"malformed layout file: {exc}") from exc
+
+    # -- internal ----------------------------------------------------------------
+
+    def _validate(self) -> None:
+        regions = [
+            Region(e.guest_start_page, e.n_pages, e.tier) for e in self.entries
+        ]
+        validate_partition(regions, self.n_pages)
+        # File offsets within each tier must tile that tier's file.
+        for tier in (int(Tier.FAST), int(Tier.SLOW)):
+            spans = sorted(
+                (e.file_offset_page, e.n_pages)
+                for e in self.entries
+                if e.tier == tier
+            )
+            expected = 0
+            for offset, n in spans:
+                if offset != expected:
+                    raise LayoutError(
+                        f"tier {tier} file offsets have a gap/overlap at "
+                        f"page {expected}"
+                    )
+                expected = offset + n
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MemoryLayout)
+            and self.n_pages == other.n_pages
+            and self.entries == other.entries
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryLayout(n_pages={self.n_pages}, entries={self.n_mappings}, "
+            f"slow={self.slow_fraction:.1%})"
+        )
+
+
+def _regions_of(placement: np.ndarray):
+    from ..regions import regions_from_values
+
+    return regions_from_values(placement)

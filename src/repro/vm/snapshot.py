@@ -1,0 +1,146 @@
+"""Snapshot objects: single-tier, REAP, and tiered (TOSS).
+
+Snapshots capture a microVM's guest memory.  We model contents as a
+per-page ``uint64`` version array — enough to verify restore correctness
+(every restored page must carry the captured version) without storing real
+bytes.  Each snapshot kind also knows its simulated creation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import config
+from ..errors import SnapshotError
+from ..memsim.tiers import Tier
+from .layout import MemoryLayout
+
+__all__ = ["SingleTierSnapshot", "ReapSnapshot", "TieredSnapshot"]
+
+
+@dataclass(frozen=True)
+class SingleTierSnapshot:
+    """A vanilla Firecracker snapshot: VM state plus one memory file.
+
+    The memory file lives on the SSD and is memory-mapped at restore, with
+    guest pages loaded on demand (Section II-A).
+    """
+
+    n_pages: int
+    page_versions: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        versions = np.asarray(self.page_versions, dtype=np.uint64)
+        if versions.shape != (self.n_pages,):
+            raise SnapshotError(
+                f"version array shape {versions.shape} does not match "
+                f"{self.n_pages} pages"
+            )
+        object.__setattr__(self, "page_versions", versions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory-file size."""
+        return self.n_pages * config.PAGE_SIZE
+
+    def creation_time_s(self) -> float:
+        """Simulated cost of writing the memory file to the SSD."""
+        return self.size_bytes / config.SSD_SEQ_WRITE_BPS
+
+
+@dataclass(frozen=True)
+class ReapSnapshot:
+    """A REAP snapshot: the base snapshot plus a working-set file.
+
+    REAP records the pages touched during the *recording* invocation
+    (captured with ``userfaultfd``) into a compact WS file; restore
+    prefetches exactly those pages and installs their page-table entries
+    (Section VI-B).  ``snapshot_input`` remembers which input produced the
+    working set — Figure 3/7/8 sweep it against the execution input.
+    """
+
+    base: SingleTierSnapshot
+    ws_mask: np.ndarray
+    snapshot_input: int = -1
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.ws_mask, dtype=bool)
+        if mask.shape != (self.base.n_pages,):
+            raise SnapshotError("working-set mask does not match guest size")
+        object.__setattr__(self, "ws_mask", mask)
+
+    @property
+    def n_pages(self) -> int:
+        """Guest pages covered by the base snapshot."""
+        return self.base.n_pages
+
+    @property
+    def ws_pages(self) -> int:
+        """Working-set size in pages."""
+        return int(self.ws_mask.sum())
+
+    @property
+    def ws_bytes(self) -> int:
+        """Working-set file size in bytes."""
+        return self.ws_pages * config.PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class TieredSnapshot:
+    """A TOSS tiered snapshot: two per-tier memory files plus the layout.
+
+    The slow-tier file lives (DAX-mapped) in persistent memory, so its
+    pages need no storage I/O at restore; the fast-tier file is also kept
+    in the slow tier and its pages are *copied* into DRAM on first touch.
+    ``expected_slowdown`` is the analysis-predicted slowdown of this
+    placement (used by pricing and re-profiling).
+    """
+
+    base: SingleTierSnapshot
+    layout: MemoryLayout
+    expected_slowdown: float = 1.0
+    source_inputs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.layout.n_pages != self.base.n_pages:
+            raise SnapshotError(
+                f"layout covers {self.layout.n_pages} pages, snapshot has "
+                f"{self.base.n_pages}"
+            )
+        if self.expected_slowdown < 1.0:
+            raise SnapshotError("expected slowdown cannot be below 1.0")
+
+    @property
+    def n_pages(self) -> int:
+        """Guest pages covered."""
+        return self.base.n_pages
+
+    @property
+    def slow_fraction(self) -> float:
+        """Fraction of guest memory in the slow tier (Table II)."""
+        return self.layout.slow_fraction
+
+    @property
+    def fast_fraction(self) -> float:
+        """Fraction of guest memory kept in DRAM."""
+        return 1.0 - self.slow_fraction
+
+    def placement(self) -> np.ndarray:
+        """Dense per-page tier array."""
+        return self.layout.placement()
+
+    def generation_time_s(self) -> float:
+        """Simulated cost of partitioning the single-tier file serially
+        into the two tier files (Section V-D).
+
+        The paper reports several hundred ms for a 128 MB snapshot up to a
+        couple of seconds at 1 GB; a ~1 GB/s copy reproduces that range.
+        """
+        return self.base.size_bytes / config.SNAPSHOT_COPY_BPS
+
+    def tier_bytes(self, tier: Tier | int) -> int:
+        """Size of one tier's snapshot file."""
+        return self.layout.pages_in_tier(tier) * config.PAGE_SIZE

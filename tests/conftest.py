@@ -1,0 +1,87 @@
+"""Shared fixtures: small, fast function models and trace builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions.base import FunctionModel, InputSpec
+from repro.trace.events import AccessEpoch, InvocationTrace
+from repro.trace.synth import Band
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+def make_trace(
+    n_pages: int = 4096,
+    pages=(0, 1, 2, 100),
+    counts=(50, 40, 30, 10),
+    cpu_time_s: float = 0.01,
+    n_epochs: int = 1,
+    store_fraction: float = 0.0,
+    random_fraction: float = 0.0,
+) -> InvocationTrace:
+    """A small hand-built trace."""
+    epochs = tuple(
+        AccessEpoch(
+            cpu_time_s=cpu_time_s / n_epochs,
+            pages=np.asarray(pages, dtype=np.int64),
+            counts=np.asarray(counts, dtype=np.int64),
+            store_fraction=store_fraction,
+            random_fraction=random_fraction,
+        )
+        for _ in range(n_epochs)
+    )
+    return InvocationTrace(n_pages=n_pages, epochs=epochs, label="test")
+
+
+@pytest.fixture
+def tiny_function() -> FunctionModel:
+    """A fast 128 MB function with a hot head and cold tail."""
+    return FunctionModel(
+        name="tiny",
+        description="test function",
+        guest_mb=128,
+        input_type="N",
+        inputs=(
+            InputSpec("small", t_dram_s=0.002, stall_share=0.02,
+                      ws_fraction=0.05, variability=0.02),
+            InputSpec("mid", t_dram_s=0.005, stall_share=0.04,
+                      ws_fraction=0.10, variability=0.02),
+            InputSpec("large", t_dram_s=0.010, stall_share=0.06,
+                      ws_fraction=0.15, variability=0.02),
+            InputSpec("xl", t_dram_s=0.020, stall_share=0.08,
+                      ws_fraction=0.20, variability=0.02),
+        ),
+        bands=(Band(0.10, 0.70), Band(0.90, 0.30)),
+        n_epochs=3,
+        store_fraction=0.2,
+    )
+
+
+@pytest.fixture
+def memory_intensive_function() -> FunctionModel:
+    """A fast function whose working set resists offloading."""
+    return FunctionModel(
+        name="intense",
+        description="uniformly hot test function",
+        guest_mb=128,
+        input_type="N",
+        inputs=(
+            InputSpec("small", t_dram_s=0.004, stall_share=0.15,
+                      ws_fraction=0.30, variability=0.02),
+            InputSpec("mid", t_dram_s=0.008, stall_share=0.25,
+                      ws_fraction=0.45, variability=0.02),
+            InputSpec("large", t_dram_s=0.015, stall_share=0.35,
+                      ws_fraction=0.60, variability=0.02),
+            InputSpec("xl", t_dram_s=0.030, stall_share=0.45,
+                      ws_fraction=0.75, variability=0.02),
+        ),
+        bands=(Band(0.5, 0.5), Band(0.5, 0.5)),
+        n_epochs=3,
+        store_fraction=0.05,
+    )

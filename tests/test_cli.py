@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "pagerank" in out and "1024" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig42"])
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "done in" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_plot_writes_svg(self, tmp_path, capsys):
+        out = tmp_path / "fig2.svg"
+        assert main(["plot", "fig2", "--out", str(out)]) == 0
+        svg = out.read_text()
+        assert svg.startswith("<svg") and "slowdown" in svg
+
+    def test_plot_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["plot", "fig42"])

@@ -1,0 +1,84 @@
+"""Tests for the Equation 1 memory cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostPoint, memory_cost, normalized_cost
+from repro.errors import AnalysisError
+from repro.memsim.tiers import DEFAULT_MEMORY_SYSTEM
+
+
+class TestMemoryCost:
+    def test_equation_1_verbatim(self):
+        # SDown * (MB_fast * Cost_fast + MB_slow * Cost_slow)
+        cost = memory_cost(1.2, fast_mb=100, slow_mb=400)
+        assert cost == pytest.approx(1.2 * (100 * 2.5 + 400 * 1.0))
+
+    def test_all_fast_reference(self):
+        assert memory_cost(1.0, 512, 0) == pytest.approx(512 * 2.5)
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            memory_cost(0.9, 1, 1)
+        with pytest.raises(AnalysisError):
+            memory_cost(1.0, -1, 1)
+        with pytest.raises(AnalysisError):
+            memory_cost(1.0, 0, 0)
+
+
+class TestNormalizedCost:
+    def test_dram_only_is_one(self):
+        assert normalized_cost(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_optimal_is_0_4(self):
+        """All slow, no slowdown: 1/2.5 = 0.4 (paper's optimal line)."""
+        assert normalized_cost(1.0, 0.0) == pytest.approx(0.4)
+
+    def test_paper_pagerank_example(self):
+        # 49.1% offloaded at 1.25x slowdown -> ~0.88 normalized.
+        cost = normalized_cost(1.25, fast_fraction=0.509)
+        assert cost == pytest.approx(1.25 * (0.509 + 0.491 / 2.5), rel=1e-9)
+
+    def test_migration_reduces_cost_at_same_slowdown(self):
+        """Paper: same slowdown, more slow tier => lower $/MB part."""
+        assert normalized_cost(1.1, 0.3) < normalized_cost(1.1, 0.6)
+
+    def test_slowdown_increases_cost_at_same_split(self):
+        """Paper: same split, more slowdown => proportionally higher cost."""
+        assert normalized_cost(1.5, 0.5) == pytest.approx(
+            1.5 * normalized_cost(1.0, 0.5)
+        )
+
+    def test_bounds_validated(self):
+        with pytest.raises(AnalysisError):
+            normalized_cost(1.0, 1.5)
+        with pytest.raises(AnalysisError):
+            normalized_cost(0.99, 0.5)
+
+    @given(
+        sd=st.floats(min_value=1.0, max_value=20.0),
+        fast=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cost_bounds_property(self, sd, fast):
+        cost = normalized_cost(sd, fast)
+        optimal = DEFAULT_MEMORY_SYSTEM.optimal_normalized_cost
+        # Never below the optimum, scales linearly with slowdown.
+        assert cost >= optimal * sd - 1e-12
+        assert cost <= sd + 1e-12
+
+    @given(fast=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_fast_fraction(self, fast):
+        if fast <= 0.99:
+            assert normalized_cost(1.0, fast) <= normalized_cost(1.0, fast + 0.01) + 1e-12
+
+
+class TestCostPoint:
+    def test_of_builds_consistent_point(self):
+        p = CostPoint.of(1.2, slow_fraction=0.75)
+        assert p.cost == pytest.approx(normalized_cost(1.2, 0.25))
+        assert p.slowdown == 1.2

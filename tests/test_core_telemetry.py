@@ -1,0 +1,89 @@
+"""Tests for controller telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.telemetry import EventKind, TelemetryEvent, TelemetryLog
+from repro.core.toss import Phase, TossConfig, TossController
+
+
+class TestTelemetryLog:
+    def test_emit_and_query(self):
+        log = TelemetryLog()
+        log.emit(TelemetryEvent(EventKind.INITIAL_EXECUTION, "f", 1))
+        log.emit(TelemetryEvent(EventKind.TIERED_INVOCATION, "f", 2))
+        log.emit(TelemetryEvent(EventKind.TIERED_INVOCATION, "f", 3))
+        assert log.count(EventKind.TIERED_INVOCATION) == 2
+        assert log.last(EventKind.TIERED_INVOCATION).invocation == 3
+        assert log.last(EventKind.REPROFILE_TRIGGERED) is None
+
+    def test_subscribers_called(self):
+        log = TelemetryLog()
+        seen = []
+        log.subscribe(seen.append)
+        event = TelemetryEvent(EventKind.PATTERN_CONVERGED, "f", 5)
+        log.emit(event)
+        assert seen == [event]
+
+    def test_timeline_renders(self):
+        log = TelemetryLog()
+        log.emit(
+            TelemetryEvent(
+                EventKind.SNAPSHOT_GENERATED, "f", 9, {"cost": 0.5}
+            )
+        )
+        line = log.timeline()[0]
+        assert "snapshot-generated" in line and "0.5" in line
+
+
+class TestControllerIntegration:
+    def test_lifecycle_events_emitted(self, tiny_function):
+        log = TelemetryLog()
+        ctl = TossController(
+            tiny_function,
+            cfg=TossConfig(convergence_window=3, min_profiling_invocations=3),
+            telemetry=log,
+        )
+        for _ in range(40):
+            ctl.invoke(3)
+            if ctl.phase is Phase.TIERED:
+                break
+        ctl.invoke(3)
+        assert log.count(EventKind.INITIAL_EXECUTION) == 1
+        assert log.count(EventKind.PROFILING_INVOCATION) >= 3
+        assert log.count(EventKind.PATTERN_CONVERGED) == 1
+        assert log.count(EventKind.SNAPSHOT_GENERATED) == 1
+        assert log.count(EventKind.TIERED_INVOCATION) >= 1
+        detail = log.last(EventKind.SNAPSHOT_GENERATED).detail
+        assert 0.0 < detail["slow_fraction"] <= 1.0
+        assert detail["cost"] < 1.0
+
+    def test_reprofile_event(self, tiny_function):
+        log = TelemetryLog()
+        ctl = TossController(
+            tiny_function,
+            cfg=TossConfig(
+                convergence_window=3,
+                min_profiling_invocations=3,
+                reprofile_bound=0.001,
+            ),
+            telemetry=log,
+        )
+        for _ in range(60):
+            ctl.invoke(0)
+            if ctl.phase is Phase.TIERED:
+                break
+        for _ in range(300):
+            ctl.invoke(3)
+            if ctl.phase is Phase.PROFILING:
+                break
+        assert log.count(EventKind.REPROFILE_TRIGGERED) == 1
+
+    def test_no_telemetry_no_overhead(self, tiny_function):
+        ctl = TossController(
+            tiny_function,
+            cfg=TossConfig(convergence_window=3, min_profiling_invocations=3),
+        )
+        out = ctl.invoke(0)
+        assert out.phase is Phase.INITIAL  # just runs without a log

@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts run and produce their key output."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "pyaes")
+        assert "converged after" in out
+        assert "slow tier share" in out
+        assert "tiered serving" in out
+
+    def test_custom_function(self):
+        out = run_example("custom_function.py")
+        assert "thumbnailer" in out
+        assert "What-if" in out
+        assert "dram+nvme" in out
+
+    @pytest.mark.slow
+    def test_compare_systems(self):
+        out = run_example("compare_systems.py", "pyaes", timeout=300)
+        assert "faasnap working set" in out
+        assert "concurrency" in out.lower()

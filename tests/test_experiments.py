@@ -1,0 +1,111 @@
+"""Smoke tests for the experiment harnesses (fast subsets)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments as ex
+from repro.functions import INPUT_LABELS
+
+
+class TestFig1:
+    def test_runs_and_reports_growth(self):
+        res = ex.fig1_ws_characterization.run(
+            "json_load_dump", damon_invocations=3
+        )
+        ws = [int(res.uffd_masks[l].sum()) for l in INPUT_LABELS]
+        # Working set grows with the input.
+        assert ws == sorted(ws)
+        assert len(res.table.rows) == 4
+        # Different inputs have different (but overlapping) patterns.
+        overlap = res.pattern_overlap("I", "IV")
+        assert 0.0 < overlap < 1.0
+
+
+class TestFig2:
+    def test_subset_shapes(self):
+        res = ex.fig2_slow_tier_slowdown.run(iterations=2)
+        assert res.slowdowns[("compress", "IV")] < 1.05
+        assert res.slowdowns[("pagerank", "IV")] > 1.5
+        worst = res.worst_functions(5)
+        assert "pagerank" in worst and "matmul" in worst
+        assert "compress" not in worst
+
+
+class TestFig3:
+    def test_reap_input_sensitivity_subset(self):
+        res = ex.fig3_reap_input_sensitivity.run(
+            function_names=["image_processing"], iterations=1
+        )
+        # Divergent snapshots are never better than the diagonal on avg.
+        assert res.overall_mean >= 0.95
+        assert res.overall_max > res.overall_mean
+
+
+class TestFig5AndTable2:
+    def test_costs_and_offload(self):
+        names = ["matmul", "compress"]
+        r5 = ex.fig5_min_cost.run(function_names=names)
+        assert 0.4 <= min(r5.costs.values()) <= max(r5.costs.values()) <= 1.0
+        r2 = ex.table2_slow_tier_pct.run(function_names=names)
+        assert r2.slow_pct["compress"] > 95.0
+        assert 80.0 < r2.slow_pct["matmul"] < 99.0
+
+
+class TestFig6:
+    def test_curves_monotone(self):
+        res = ex.fig6_incremental_bins.run(function_names=("matmul",))
+        for label in INPUT_LABELS:
+            pts = res.curves[("matmul", label)]
+            sds = [p[0] for p in pts]
+            assert all(b >= a - 1e-9 for a, b in zip(sds, sds[1:]))
+        assert res.slowdown_monotone_in_input("matmul")
+
+
+class TestFig7:
+    def test_setup_shape(self):
+        res = ex.fig7_setup_time.run(function_names=["pagerank", "pyaes"])
+        assert res.reap_max["pagerank"] > 10 * res.toss["pagerank"]
+        # Tiny-WS function: REAP's best setup beats TOSS (paper's caveat).
+        assert res.reap_min["pyaes"] < res.toss["pyaes"]
+
+
+class TestFig8:
+    def test_invocation_time_shape(self):
+        res = ex.fig8_invocation_time.run(
+            function_names=["lr_serving"], iterations=1
+        )
+        assert res.toss_mean >= 1.0
+        assert res.reap_worst >= res.reap_mean
+
+
+class TestFig9:
+    def test_scalability_shape(self):
+        res = ex.fig9_scalability.run(
+            function_names=["image_processing"],
+            concurrency_levels=(1, 10),
+        )
+        assert res.slowdown[("reap-worst", "image_processing", 10)] > (
+            res.slowdown[("reap-worst", "image_processing", 1)]
+        )
+        assert res.slowdown[("dram", "image_processing", 10)] < 1.3
+
+
+class TestSec6C3:
+    def test_variance_small_for_stable_function(self):
+        res = ex.sec6c3_snapshot_variance.run(function_names=["matmul"])
+        assert res.mean_snapshot_variance() < 25.0
+        assert res.mean_placement_variance() < 25.0
+
+
+class TestAblations:
+    def test_bin_count_table(self):
+        table = ex.ablations.ablate_bin_count("matmul", bin_counts=(2, 10))
+        costs = table.column("cost")
+        # More bins => finer placement => no worse cost.
+        assert costs[1] <= costs[0] + 0.02
+
+    def test_cost_ratio_moves_offloading(self):
+        table = ex.ablations.ablate_cost_ratio("matmul", ratios=(1.5, 8.0))
+        slow = table.column("slow %")
+        assert slow[1] >= slow[0]

@@ -1,0 +1,112 @@
+"""Integration tests: the paper's headline claims hold in shape.
+
+These run the real Table I suite end to end (profiling -> analysis ->
+tiered serving) on a subset of functions, asserting the *relationships*
+the paper reports rather than exact numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DramBaseline, ReapSystem, TossSystem
+from repro.functions import get_function
+from repro.memsim.tiers import DEFAULT_MEMORY_SYSTEM, Tier
+from repro.platform import Scheduler
+from repro.vm.microvm import MicroVM
+
+
+@pytest.fixture(scope="module")
+def toss_matmul():
+    return TossSystem(get_function("matmul"), convergence_window=5)
+
+
+@pytest.fixture(scope="module")
+def toss_pagerank():
+    return TossSystem(get_function("pagerank"), convergence_window=5)
+
+
+class TestFigure2Claims:
+    def full_slow_slowdown(self, name, input_index=3):
+        func = get_function(name)
+        trace = func.trace(input_index, 0)
+        slow = np.full(func.n_pages, int(Tier.SLOW), dtype=np.uint8)
+        fast = np.full(func.n_pages, int(Tier.FAST), dtype=np.uint8)
+        t_slow = MicroVM(func.n_pages, placement=slow).execute(trace).time_s
+        t_fast = MicroVM(func.n_pages, placement=fast).execute(trace).time_s
+        return t_slow / t_fast
+
+    def test_compress_negligible_slowdown(self):
+        """Observation #1: some functions run fully on PMEM for free."""
+        assert self.full_slow_slowdown("compress") < 1.05
+
+    def test_pagerank_severe_slowdown(self):
+        assert self.full_slow_slowdown("pagerank") > 1.8
+
+    def test_slowdown_grows_with_input(self):
+        """Observation #2: slowdown varies across inputs."""
+        small = self.full_slow_slowdown("matmul", 0)
+        large = self.full_slow_slowdown("matmul", 3)
+        assert large > small
+
+
+class TestTableIIClaims:
+    def test_matmul_offloads_most_memory(self, toss_matmul):
+        assert 0.85 <= toss_matmul.slow_fraction <= 0.98
+
+    def test_pagerank_offloads_about_half(self, toss_pagerank):
+        assert 0.35 <= toss_pagerank.slow_fraction <= 0.60
+
+    def test_costs_near_optimal(self, toss_matmul, toss_pagerank):
+        optimal = DEFAULT_MEMORY_SYSTEM.optimal_normalized_cost
+        assert optimal <= toss_matmul.analysis.cost <= 0.6
+        # pagerank's saving is capped (paper: ~15 %).
+        assert 0.75 <= toss_pagerank.analysis.cost < 1.0
+
+
+class TestFigure7Claims:
+    def test_toss_setup_constant_across_inputs(self, toss_matmul):
+        setups = [toss_matmul.invoke(i, 0).setup_time_s for i in range(4)]
+        assert max(setups) == pytest.approx(min(setups))
+
+    def test_reap_setup_dwarfs_toss_for_big_ws(self, toss_pagerank):
+        reap = ReapSystem(get_function("pagerank"), snapshot_input=3)
+        reap_setup = reap.invoke(3, 0).setup_time_s
+        toss_setup = toss_pagerank.invoke(3, 0).setup_time_s
+        assert reap_setup > 20 * toss_setup
+
+
+class TestFigure8Claims:
+    def test_toss_between_dram_and_reap_worst(self, toss_matmul):
+        func = get_function("matmul")
+        dram = DramBaseline(func)
+        reap_worst = ReapSystem(func, snapshot_input=0)
+        warm = dram.invoke(3, 7).exec_time_s
+        toss_t = toss_matmul.invoke(3, 7).total_time_s / warm
+        reap_t = reap_worst.invoke(3, 7).total_time_s / warm
+        assert 1.0 <= toss_t < reap_t
+
+
+class TestFigure9Claims:
+    def test_concurrency_story(self, toss_matmul):
+        """DRAM flat, TOSS moderate, REAP-Worst collapses at 20-way."""
+        func = get_function("matmul")
+        sched = Scheduler()
+        dram = DramBaseline(func)
+        reap_worst = ReapSystem(func, snapshot_input=0)
+        warm = dram.invoke(3, 11).exec_time_s
+
+        dram_20 = sched.run_concurrent(dram, 3, 20).mean_exec_s / warm
+        toss_20 = sched.run_concurrent(toss_matmul, 3, 20).mean_exec_s / warm
+        reap_20 = sched.run_concurrent(reap_worst, 3, 20).mean_exec_s / warm
+        assert dram_20 < 1.2
+        assert toss_20 < reap_20
+        assert reap_20 > 2.0
+
+    def test_pagerank_scales_like_dram(self, toss_pagerank):
+        """Section VI-E: pagerank's hot set stayed in DRAM, so it scales."""
+        sched = Scheduler()
+        t1 = sched.run_concurrent(toss_pagerank, 3, 1).mean_exec_s
+        t20 = sched.run_concurrent(toss_pagerank, 3, 20).mean_exec_s
+        assert t20 / t1 < 1.5

@@ -1,0 +1,60 @@
+"""Tests for simulated clocks and perf counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim.accounting import Clock, PerfCounters
+
+
+class TestClock:
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_elapsed_since(self):
+        clock = Clock()
+        start = clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.elapsed_since(start) == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock().advance(-0.1)
+
+    def test_future_start_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock().elapsed_since(1.0)
+
+
+class TestPerfCounters:
+    def test_total_time(self):
+        c = PerfCounters(
+            cpu_time_s=1.0, fast_stall_s=0.2, slow_stall_s=0.3, fault_stall_s=0.5
+        )
+        assert c.total_time_s == pytest.approx(2.0)
+        assert c.memory_stall_s == pytest.approx(0.5)
+
+    def test_memory_intensiveness(self):
+        c = PerfCounters(cpu_time_s=0.6, fast_stall_s=0.4)
+        assert c.memory_intensiveness == pytest.approx(0.4)
+
+    def test_memory_intensiveness_empty(self):
+        assert PerfCounters().memory_intensiveness == 0.0
+
+    def test_total_accesses(self):
+        c = PerfCounters(fast_accesses=10, slow_accesses=5)
+        assert c.total_accesses == 15
+
+    def test_merge_sums_fields(self):
+        a = PerfCounters(cpu_time_s=1.0, fast_accesses=3, minor_faults=2)
+        b = PerfCounters(cpu_time_s=0.5, fast_accesses=4, major_faults=1)
+        m = a.merge(b)
+        assert m.cpu_time_s == pytest.approx(1.5)
+        assert m.fast_accesses == 7
+        assert m.minor_faults == 2 and m.major_faults == 1
+        # Merge leaves the operands untouched.
+        assert a.fast_accesses == 3 and b.fast_accesses == 4

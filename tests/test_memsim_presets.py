@@ -1,0 +1,65 @@
+"""Tests for the alternative memory-technology presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import ProfilingAnalyzer
+from repro.memsim.presets import (
+    ALL_PRESETS,
+    DDR5_CXL,
+    DRAM_NVME,
+    DRAM_PMEM,
+    HBM_DRAM,
+)
+from repro.memsim.tiers import DEFAULT_MEMORY_SYSTEM
+
+
+class TestPresets:
+    def test_default_is_paper_platform(self):
+        assert DRAM_PMEM.fast is DEFAULT_MEMORY_SYSTEM.fast
+        assert DRAM_PMEM.cost_ratio == pytest.approx(2.5)
+
+    def test_all_presets_valid_systems(self):
+        for name, system in ALL_PRESETS.items():
+            assert system.fast.load_latency_s <= system.slow.load_latency_s
+            assert system.cost_ratio >= 1.0
+            assert 0 < system.optimal_normalized_cost <= 1.0
+
+    def test_cxl_is_mild_tiering(self):
+        """CXL DDR4 is much closer to DRAM than Optane is."""
+        assert DDR5_CXL.latency_ratio() < DRAM_PMEM.latency_ratio()
+
+    def test_hbm_pairing_most_expensive_fast_tier(self):
+        assert HBM_DRAM.fast.cost_per_mb == max(
+            s.fast.cost_per_mb for s in ALL_PRESETS.values()
+        )
+        assert HBM_DRAM.cost_ratio > DRAM_PMEM.cost_ratio
+
+    def test_nvme_is_the_slowest_tier(self):
+        assert DRAM_NVME.latency_ratio() > 10
+
+
+class TestCostModelAcrossTechnologies:
+    def test_optimal_cost_tracks_ratio(self):
+        """Section IV-B: the formula adapts to any technology pair."""
+        for system in ALL_PRESETS.values():
+            assert system.optimal_normalized_cost == pytest.approx(
+                1.0 / system.cost_ratio
+            )
+
+    def test_analysis_runs_on_every_preset(self, tiny_function):
+        """The whole pipeline is technology-agnostic."""
+        from test_core_analysis import profiled_pattern
+
+        pattern = profiled_pattern(tiny_function, invocations=6)
+        trace = tiny_function.trace(3, 999)
+        fractions = {}
+        for name, system in ALL_PRESETS.items():
+            result = ProfilingAnalyzer(system).analyze(pattern, trace)
+            assert system.optimal_normalized_cost <= result.cost <= 1.0 + 1e-9
+            fractions[name] = result.slow_fraction
+        # A near-free slow tier (CXL) should offload at least as much as
+        # the brutal NVMe tier.
+        assert fractions["ddr5+cxl"] >= fractions["dram+nvme"]

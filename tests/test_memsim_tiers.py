@@ -1,0 +1,116 @@
+"""Tests for tier specifications and the two-tier memory system."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+from repro.memsim.tiers import (
+    DEFAULT_MEMORY_SYSTEM,
+    DRAM_SPEC,
+    PMEM_SPEC,
+    MemorySystem,
+    Tier,
+    TierSpec,
+)
+
+
+class TestTierSpec:
+    def test_default_platform_values(self):
+        assert DRAM_SPEC.load_latency_s == pytest.approx(80e-9)
+        assert PMEM_SPEC.load_latency_s == pytest.approx(300e-9)
+        assert PMEM_SPEC.store_latency_s > PMEM_SPEC.load_latency_s
+
+    def test_random_penalty_blend(self):
+        lat0 = PMEM_SPEC.effective_load_latency_s(0.0)
+        lat1 = PMEM_SPEC.effective_load_latency_s(1.0)
+        lat_half = PMEM_SPEC.effective_load_latency_s(0.5)
+        assert lat0 == pytest.approx(PMEM_SPEC.load_latency_s)
+        assert lat1 == pytest.approx(
+            PMEM_SPEC.load_latency_s * PMEM_SPEC.random_penalty
+        )
+        assert lat0 < lat_half < lat1
+
+    def test_dram_random_penalty_is_neutral(self):
+        assert DRAM_SPEC.effective_load_latency_s(1.0) == pytest.approx(
+            DRAM_SPEC.load_latency_s
+        )
+
+    def test_store_blend(self):
+        all_loads = PMEM_SPEC.effective_access_latency_s(0.0, 0.0)
+        all_stores = PMEM_SPEC.effective_access_latency_s(0.0, 1.0)
+        assert all_loads == pytest.approx(PMEM_SPEC.load_latency_s)
+        assert all_stores == pytest.approx(PMEM_SPEC.store_latency_s)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigError):
+            PMEM_SPEC.effective_load_latency_s(1.5)
+        with pytest.raises(ConfigError):
+            PMEM_SPEC.effective_access_latency_s(0.0, -0.1)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("load_latency_s", 0.0),
+            ("store_latency_s", -1.0),
+            ("bandwidth_bps", 0.0),
+            ("cost_per_mb", 0.0),
+            ("access_bytes", 0),
+        ],
+    )
+    def test_nonpositive_characteristics_rejected(self, field, value):
+        kwargs = dict(
+            name="bad",
+            load_latency_s=1e-7,
+            store_latency_s=1e-7,
+            bandwidth_bps=1e9,
+            access_bytes=64,
+            cost_per_mb=1.0,
+        )
+        kwargs[field] = value
+        with pytest.raises(ConfigError):
+            TierSpec(**kwargs)
+
+    def test_random_penalty_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            TierSpec(
+                name="bad",
+                load_latency_s=1e-7,
+                store_latency_s=1e-7,
+                bandwidth_bps=1e9,
+                access_bytes=64,
+                cost_per_mb=1.0,
+                random_penalty=0.5,
+            )
+
+    def test_ops_caps_default_unbounded(self):
+        assert math.isinf(DRAM_SPEC.read_ops_cap)
+        assert PMEM_SPEC.read_ops_cap == config.PMEM_READ_OPS_CAP
+
+
+class TestMemorySystem:
+    def test_cost_ratio_is_paper_value(self):
+        assert DEFAULT_MEMORY_SYSTEM.cost_ratio == pytest.approx(2.5)
+        assert DEFAULT_MEMORY_SYSTEM.optimal_normalized_cost == pytest.approx(0.4)
+
+    def test_latency_ratio(self):
+        assert DEFAULT_MEMORY_SYSTEM.latency_ratio() == pytest.approx(300 / 80)
+
+    def test_spec_lookup(self):
+        assert DEFAULT_MEMORY_SYSTEM.spec(Tier.FAST) is DRAM_SPEC
+        assert DEFAULT_MEMORY_SYSTEM.spec(Tier.SLOW) is PMEM_SPEC
+        assert DEFAULT_MEMORY_SYSTEM.spec(1) is PMEM_SPEC
+
+    def test_access_latencies_indexable_by_tier(self):
+        lat = DEFAULT_MEMORY_SYSTEM.access_latencies()
+        assert lat[Tier.FAST] < lat[Tier.SLOW]
+
+    def test_slow_faster_than_fast_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySystem(fast=PMEM_SPEC, slow=DRAM_SPEC)
+
+    def test_tier_enum_values(self):
+        assert int(Tier.FAST) == 0 and int(Tier.SLOW) == 1

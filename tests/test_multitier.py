@@ -1,0 +1,146 @@
+"""Tests for the N-tier extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import ProfilingAnalyzer
+from repro.errors import AnalysisError, ConfigError, VMError
+from repro.memsim.tiers import DRAM_SPEC, PMEM_SPEC
+from repro.multitier import (
+    DRAM_CXL_NVME,
+    DRAM_PMEM_NVME,
+    MultiTierAnalyzer,
+    MultiTierVM,
+    TierLadder,
+    multi_tier_cost,
+)
+
+from conftest import make_trace
+from test_core_analysis import profiled_pattern
+
+
+class TestTierLadder:
+    def test_valid_ladders(self):
+        assert DRAM_CXL_NVME.n_tiers == 3
+        assert DRAM_PMEM_NVME.n_tiers == 3
+
+    def test_price_ratios_non_increasing(self):
+        for ladder in (DRAM_CXL_NVME, DRAM_PMEM_NVME):
+            ratios = ladder.price_ratios()
+            assert ratios[0] == pytest.approx(1.0)
+            assert all(b <= a for a, b in zip(ratios, ratios[1:]))
+
+    def test_optimal_cost_is_cheapest_rung(self):
+        assert DRAM_CXL_NVME.optimal_normalized_cost == pytest.approx(
+            DRAM_CXL_NVME.tiers[-1].cost_per_mb / DRAM_SPEC.cost_per_mb
+        )
+
+    def test_misordered_ladder_rejected(self):
+        with pytest.raises(ConfigError):
+            TierLadder(tiers=(PMEM_SPEC, DRAM_SPEC))
+
+    def test_single_tier_rejected(self):
+        with pytest.raises(ConfigError):
+            TierLadder(tiers=(DRAM_SPEC,))
+
+    def test_latencies_monotone(self):
+        lat = DRAM_CXL_NVME.access_latencies()
+        assert all(b >= a for a, b in zip(lat, lat[1:]))
+
+
+class TestMultiTierCost:
+    def test_all_top_tier_is_one(self):
+        assert multi_tier_cost(1.0, [1.0, 0.0, 0.0], DRAM_CXL_NVME) == 1.0
+
+    def test_all_bottom_is_optimal(self):
+        cost = multi_tier_cost(1.0, [0.0, 0.0, 1.0], DRAM_CXL_NVME)
+        assert cost == pytest.approx(DRAM_CXL_NVME.optimal_normalized_cost)
+
+    def test_two_tier_degenerate_matches_equation_1(self):
+        ladder = TierLadder(tiers=(DRAM_SPEC, PMEM_SPEC))
+        cost = multi_tier_cost(1.2, [0.3, 0.7], ladder)
+        assert cost == pytest.approx(1.2 * (0.3 + 0.7 / 2.5))
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            multi_tier_cost(0.9, [1, 0, 0], DRAM_CXL_NVME)
+        with pytest.raises(AnalysisError):
+            multi_tier_cost(1.0, [0.5, 0.5], DRAM_CXL_NVME)
+        with pytest.raises(AnalysisError):
+            multi_tier_cost(1.0, [0.9, 0.2, -0.1], DRAM_CXL_NVME)
+
+
+class TestMultiTierVM:
+    def test_rung_latency_ordering(self):
+        trace = make_trace(pages=(0,), counts=(100_000,), cpu_time_s=0.001)
+        times = []
+        for rung in range(3):
+            placement = np.full(4096, rung, dtype=np.uint8)
+            vm = MultiTierVM(4096, DRAM_CXL_NVME, placement)
+            times.append(vm.execute_time_s(trace))
+        assert times == sorted(times)
+
+    def test_slowdown_reference(self):
+        trace = make_trace(pages=(0,), counts=(100_000,))
+        vm = MultiTierVM(4096, DRAM_CXL_NVME)
+        assert vm.slowdown(trace) == pytest.approx(1.0)
+
+    def test_fractions(self):
+        placement = np.zeros(100, dtype=np.uint8)
+        placement[:25] = 2
+        vm = MultiTierVM(100, DRAM_CXL_NVME, placement)
+        np.testing.assert_allclose(vm.tier_fractions(), [0.75, 0.0, 0.25])
+
+    def test_out_of_range_rung_rejected(self):
+        with pytest.raises(VMError):
+            MultiTierVM(10, DRAM_CXL_NVME, np.full(10, 5, dtype=np.uint8))
+
+
+class TestMultiTierAnalyzer:
+    @pytest.fixture
+    def pattern_and_trace(self, tiny_function):
+        pattern = profiled_pattern(tiny_function)
+        return tiny_function, pattern, tiny_function.trace(3, 999)
+
+    def test_three_tier_beats_two_tier_cost(self, pattern_and_trace):
+        function, pattern, trace = pattern_and_trace
+        two = ProfilingAnalyzer().analyze(pattern, trace)
+        three = MultiTierAnalyzer(DRAM_PMEM_NVME).analyze(pattern, trace)
+        # A strictly richer ladder can only improve the optimum.
+        assert three.cost <= two.cost + 1e-9
+
+    def test_placement_within_bounds(self, pattern_and_trace):
+        _, pattern, trace = pattern_and_trace
+        result = MultiTierAnalyzer(DRAM_CXL_NVME).analyze(pattern, trace)
+        assert result.placement.max() < 3
+        assert sum(result.tier_fractions) == pytest.approx(1.0)
+        assert result.cost >= DRAM_CXL_NVME.optimal_normalized_cost - 1e-9
+        assert result.slowdown >= 1.0
+
+    def test_threshold_bounds_slowdown(self, pattern_and_trace):
+        _, pattern, trace = pattern_and_trace
+        free = MultiTierAnalyzer(DRAM_PMEM_NVME).analyze(pattern, trace)
+        capped = MultiTierAnalyzer(DRAM_PMEM_NVME).analyze(
+            pattern, trace, slowdown_threshold=0.01
+        )
+        assert capped.slowdown - 1.0 <= 0.01 + 1e-9
+        assert capped.cost >= free.cost - 1e-9
+
+    def test_hot_pages_stay_on_top_rung(self, memory_intensive_function):
+        """A uniformly hot working set resists demotion even with three
+        rungs available."""
+        pattern = profiled_pattern(memory_intensive_function)
+        trace = memory_intensive_function.trace(3, 999)
+        result = MultiTierAnalyzer(DRAM_PMEM_NVME).analyze(pattern, trace)
+        assert result.top_tier_fraction > 0.1
+
+    def test_mismatched_guest_rejected(self, tiny_function):
+        from repro.profiling.unified import UnifiedAccessPattern
+
+        pattern = UnifiedAccessPattern(128, convergence_window=2)
+        with pytest.raises(AnalysisError):
+            MultiTierAnalyzer(DRAM_CXL_NVME).analyze(
+                pattern, tiny_function.trace(0, 0)
+            )

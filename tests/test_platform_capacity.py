@@ -1,0 +1,90 @@
+"""Tests for host capacity packing and the extended suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.functions.extended import EXTENDED_SUITE, get_extended_function
+from repro.platform.capacity import HostCapacity, ResidentVM, packing_density
+
+
+class TestHostCapacity:
+    def test_admission_within_budget(self):
+        host = HostCapacity(1024, 4096)
+        assert host.admit(ResidentVM("a", 512, 1024))
+        assert host.admit(ResidentVM("b", 512, 1024))
+        assert not host.admit(ResidentVM("c", 1, 0))
+        assert host.resident_count == 2
+
+    def test_slow_budget_enforced_independently(self):
+        host = HostCapacity(10_000, 100)
+        assert not host.admit(ResidentVM("big-slow", 1, 200))
+
+    def test_release(self):
+        host = HostCapacity(1024, 0)
+        host.admit(ResidentVM("a", 512, 0))
+        assert host.release("a")
+        assert not host.release("a")
+        assert host.used_fast_mb == 0
+
+    def test_fill_with(self):
+        host = HostCapacity(1024, 8192)
+        count = host.fill_with(ResidentVM("f", 128, 896))
+        assert count == 8  # 8 * 128 = 1024 MB of DRAM
+        assert host.used_fast_mb == pytest.approx(1024)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchedulerError):
+            HostCapacity(0, 100)
+        with pytest.raises(SchedulerError):
+            ResidentVM("x", -1, 0)
+        with pytest.raises(SchedulerError):
+            ResidentVM("x", 0, 0)
+
+
+class TestPackingDensity:
+    def test_dram_only_bound(self):
+        d, t = packing_density(
+            1024, 0.0, host_fast_mb=96 * 1024, host_slow_mb=768 * 1024
+        )
+        assert d == t == 96
+
+    def test_tiering_multiplies_density(self):
+        d, t = packing_density(
+            1024, 0.9, host_fast_mb=96 * 1024, host_slow_mb=768 * 1024
+        )
+        assert d == 96
+        # Fast budget allows 960, slow budget caps at 768*1024/921.6 ~ 853.
+        assert t > 5 * d
+
+    def test_slow_budget_caps_full_offload(self):
+        d, t = packing_density(
+            1024, 1.0, host_fast_mb=96 * 1024, host_slow_mb=768 * 1024
+        )
+        assert t == 768  # bound by the slow tier entirely
+
+    def test_invalid_fraction(self):
+        with pytest.raises(SchedulerError):
+            packing_density(128, 1.5, host_fast_mb=1024, host_slow_mb=1024)
+
+
+class TestExtendedSuite:
+    def test_catalogue(self):
+        assert len(EXTENDED_SUITE) == 4
+        assert get_extended_function("dna_alignment").guest_mb == 1024
+        with pytest.raises(KeyError):
+            get_extended_function("nope")
+
+    def test_traces_build(self):
+        for func in EXTENDED_SUITE:
+            trace = func.trace(0, 0)
+            assert trace.total_accesses > 0
+            assert trace.working_set_pages == func.ws_pages(0)
+
+    def test_names_disjoint_from_table1(self):
+        from repro.functions import SUITE
+
+        base = {f.name for f in SUITE}
+        extended = {f.name for f in EXTENDED_SUITE}
+        assert not base & extended

@@ -1,0 +1,95 @@
+"""Tests for the keep-alive cache and its TOSS integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.toss import Phase, TossConfig
+from repro.errors import SchedulerError
+from repro.platform import KeepAliveCache, ServerlessPlatform
+
+
+class TestGreedyDualCache:
+    def test_miss_then_hit(self):
+        cache = KeepAliveCache(1024)
+        assert not cache.lookup("f")
+        assert cache.admit("f", fast_mb=100, init_cost_s=0.01)
+        assert cache.lookup("f")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_enforced(self):
+        cache = KeepAliveCache(256)
+        cache.admit("a", fast_mb=128, init_cost_s=0.01)
+        cache.admit("b", fast_mb=128, init_cost_s=0.01)
+        assert cache.used_mb <= 256
+        cache.admit("c", fast_mb=128, init_cost_s=1.0)  # expensive newcomer
+        assert cache.used_mb <= 256
+        assert cache.evictions >= 1
+        assert "c" in cache.warm_functions
+
+    def test_oversized_entry_rejected(self):
+        cache = KeepAliveCache(100)
+        assert not cache.admit("huge", fast_mb=200, init_cost_s=1.0)
+
+    def test_valuable_entries_survive(self):
+        """Greedy-Dual: a cheap newcomer cannot evict expensive entries."""
+        cache = KeepAliveCache(256)
+        cache.admit("gold", fast_mb=256, init_cost_s=10.0)
+        assert not cache.admit("dust", fast_mb=256, init_cost_s=1e-6)
+        assert "gold" in cache.warm_functions
+
+    def test_frequency_raises_priority(self):
+        cache = KeepAliveCache(200)
+        cache.admit("hot", fast_mb=100, init_cost_s=0.01)
+        cache.admit("cold", fast_mb=100, init_cost_s=0.01)
+        for _ in range(50):
+            cache.lookup("hot")
+        cache.admit("new", fast_mb=100, init_cost_s=0.01)
+        assert "hot" in cache.warm_functions
+        assert "cold" not in cache.warm_functions
+
+    def test_invalidate(self):
+        cache = KeepAliveCache(100)
+        cache.admit("f", fast_mb=10, init_cost_s=0.1)
+        cache.invalidate("f")
+        assert not cache.lookup("f")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchedulerError):
+            KeepAliveCache(0)
+        cache = KeepAliveCache(10)
+        with pytest.raises(SchedulerError):
+            cache.admit("f", fast_mb=0, init_cost_s=0.1)
+
+
+class TestPlatformIntegration:
+    def _platform(self, keepalive):
+        return ServerlessPlatform(
+            n_cores=4,
+            toss_cfg=TossConfig(convergence_window=3,
+                                min_profiling_invocations=3),
+            keepalive=keepalive,
+        )
+
+    def test_warm_starts_skip_setup(self, tiny_function):
+        cache = KeepAliveCache(1024)
+        platform = self._platform(cache)
+        platform.deploy(tiny_function)
+        log = platform.serve([(0.05 * i, "tiny", 3) for i in range(40)])
+        tiered = [e for e in log if e.phase is Phase.TIERED]
+        warm = [e for e in tiered if e.setup_time_s == 0.0]
+        assert warm, "keep-alive never produced a warm start"
+        # After the first tiered admit, every later request is warm.
+        assert len(warm) >= len(tiered) - 1
+        assert cache.hit_rate > 0.5
+
+    def test_tiering_shrinks_cache_footprint(self, tiny_function):
+        """The synergy: a tiered VM pins only its fast fraction of DRAM."""
+        cache = KeepAliveCache(1024)
+        platform = self._platform(cache)
+        platform.deploy(tiny_function)
+        platform.serve([(0.05 * i, "tiny", 3) for i in range(30)])
+        dep = platform.deployments["tiny"]
+        fast_mb = tiny_function.guest_mb * (1 - dep.controller.slow_fraction)
+        assert cache.used_mb == pytest.approx(max(fast_mb, 1e-3), rel=1e-6)
+        assert cache.used_mb < 0.3 * tiny_function.guest_mb

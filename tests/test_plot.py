@@ -1,0 +1,117 @@
+"""Tests for the SVG renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.plot import bars_to_svg, series_to_svg
+from repro.report import SeriesSet, Table
+
+
+def table() -> Table:
+    t = Table("Costs", ["function", "cost", "slowdown"])
+    t.add_row("a", 0.45, 1.02)
+    t.add_row("b", 0.79, 1.10)
+    t.add_row("c", 0.41, 1.00)
+    return t
+
+
+def series_set() -> SeriesSet:
+    s = SeriesSet("Scaling", "concurrency", "slowdown")
+    s.add("toss", [1, 5, 10, 20], [1.1, 1.2, 1.3, 1.8])
+    s.add("reap", [1, 5, 10, 20], [2.0, 2.4, 3.1, 4.5])
+    return s
+
+
+class TestBars:
+    def test_well_formed_xml(self):
+        svg = bars_to_svg(table(), label_column="function")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_cell(self):
+        svg = bars_to_svg(
+            table(), label_column="function", value_columns=["cost"]
+        )
+        root = ET.fromstring(svg)
+        bars = [
+            el for el in root.iter()
+            if el.tag.endswith("rect") and el.get("fill", "").startswith("#4c")
+        ]
+        assert len(bars) == 3 + 1  # 3 bars + 1 legend swatch
+
+    def test_grouped_series(self):
+        svg = bars_to_svg(table(), label_column="function")
+        assert "cost" in svg and "slowdown" in svg
+
+    def test_bar_heights_scale_with_values(self):
+        svg = bars_to_svg(
+            table(), label_column="function", value_columns=["cost"]
+        )
+        root = ET.fromstring(svg)
+        heights = [
+            float(el.get("height"))
+            for el in root.iter()
+            if el.tag.endswith("rect")
+            and el.get("fill", "").startswith("#4c")
+            and float(el.get("height")) > 10
+        ]
+        # b (0.79) must be the tallest, c (0.41) the shortest.
+        assert max(heights) / min(heights) == pytest.approx(0.79 / 0.41, rel=0.05)
+
+    def test_labels_escaped(self):
+        t = Table("T", ["function", "cost"])
+        t.add_row("a<b>&", 1.0)
+        svg = bars_to_svg(t, label_column="function")
+        ET.fromstring(svg)  # would raise on unescaped markup
+        assert "a&lt;b&gt;&amp;" in svg
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigError):
+            bars_to_svg(Table("T", ["a", "b"]), label_column="a")
+
+    def test_no_numeric_columns_rejected(self):
+        t = Table("T", ["a", "b"])
+        t.add_row("x", "y")
+        with pytest.raises(ConfigError):
+            bars_to_svg(t, label_column="a")
+
+
+class TestSeries:
+    def test_well_formed_xml(self):
+        svg = series_to_svg(series_set())
+        root = ET.fromstring(svg)
+        polylines = [el for el in root.iter() if el.tag.endswith("polyline")]
+        circles = [el for el in root.iter() if el.tag.endswith("circle")]
+        assert len(polylines) == 2
+        assert len(circles) == 8
+
+    def test_legend_contains_labels(self):
+        svg = series_to_svg(series_set())
+        assert "toss" in svg and "reap" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            series_to_svg(SeriesSet("T", "x", "y"))
+
+    def test_constant_x_handled(self):
+        s = SeriesSet("T", "x", "y")
+        s.add("a", [3, 3], [1.0, 2.0])
+        ET.fromstring(series_to_svg(s))
+
+
+class TestRealFigures:
+    def test_fig9_series_render(self):
+        """The actual Figure 9 summary renders to valid SVG."""
+        from repro.report import SeriesSet
+
+        fig = SeriesSet(
+            "Figure 9 summary", "concurrent invocations", "slowdown"
+        )
+        fig.add("dram", [1, 5, 10, 20], [1.0, 1.0, 1.0, 1.0])
+        fig.add("toss", [1, 5, 10, 20], [1.14, 1.18, 1.24, 1.79])
+        fig.add("reap-worst", [1, 5, 10, 20], [1.89, 2.3, 2.92, 4.31])
+        ET.fromstring(series_to_svg(fig))

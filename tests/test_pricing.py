@@ -1,0 +1,91 @@
+"""Tests for vendor plans and tiered billing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pricing import (
+    AWS_LAMBDA,
+    GCP_CLOUD_FUNCTIONS,
+    VendorPlan,
+    bill_invocation,
+    bundle_mb,
+)
+
+
+class TestBundles:
+    @pytest.mark.parametrize(
+        "need,expected",
+        [(1, 128), (128, 128), (129, 256), (300, 384), (1024, 1024)],
+    )
+    def test_smallest_covering_bundle(self, need, expected):
+        assert bundle_mb(need) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            bundle_mb(0)
+
+
+class TestVendorPlan:
+    def test_lambda_bills_per_ms(self):
+        assert AWS_LAMBDA.billable_ms(0.0123) == pytest.approx(13.0)
+
+    def test_gcp_bills_per_100ms(self):
+        assert GCP_CLOUD_FUNCTIONS.billable_ms(0.0123) == pytest.approx(100.0)
+        assert GCP_CLOUD_FUNCTIONS.billable_ms(0.250) == pytest.approx(300.0)
+
+    def test_invocation_cost_uses_bundle(self):
+        cost_129 = AWS_LAMBDA.invocation_cost(129, 0.01)
+        cost_256 = AWS_LAMBDA.invocation_cost(256, 0.01)
+        assert cost_129 == pytest.approx(cost_256)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            AWS_LAMBDA.billable_ms(-1.0)
+
+    def test_invalid_plan(self):
+        with pytest.raises(ConfigError):
+            VendorPlan("bad", rate_per_mb_ms=0.0, billing_quantum_ms=1.0)
+
+
+class TestTieredBilling:
+    def test_all_dram_bill_unchanged(self):
+        """Worst case: users pay exactly today's plans (Section III-D)."""
+        bill = bill_invocation(
+            guest_mb=256, duration_s=0.1, slow_fraction=0.0, slowdown=1.0
+        )
+        assert bill.tiered_cost == pytest.approx(bill.dram_cost)
+        assert bill.savings_fraction == pytest.approx(0.0)
+
+    def test_offloading_saves(self):
+        bill = bill_invocation(
+            guest_mb=256, duration_s=0.1, slow_fraction=0.9, slowdown=1.0
+        )
+        assert bill.tiered_cost < bill.dram_cost
+        assert bill.savings_fraction > 0.4
+
+    def test_optimal_saving_is_60pct(self):
+        bill = bill_invocation(
+            guest_mb=256, duration_s=0.1, slow_fraction=1.0, slowdown=1.0
+        )
+        assert bill.savings_fraction == pytest.approx(0.6, abs=0.01)
+
+    def test_slowdown_eats_into_savings(self):
+        fast = bill_invocation(
+            guest_mb=256, duration_s=0.1, slow_fraction=1.0, slowdown=1.0
+        )
+        slowed = bill_invocation(
+            guest_mb=256, duration_s=0.15, slow_fraction=1.0, slowdown=1.5
+        )
+        assert slowed.savings_fraction < fast.savings_fraction
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            bill_invocation(
+                guest_mb=128, duration_s=0.1, slow_fraction=1.5
+            )
+        with pytest.raises(ConfigError):
+            bill_invocation(
+                guest_mb=128, duration_s=0.1, slow_fraction=0.5, slowdown=0.5
+            )

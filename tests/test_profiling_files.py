@@ -1,0 +1,80 @@
+"""Tests for DAMON file persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling.damon import DamonProfiler
+from repro.profiling.files import (
+    load_damon_file,
+    pattern_from_files,
+    save_damon_file,
+)
+from repro.vm.vmm import VMM
+
+
+@pytest.fixture
+def damon_file(tmp_path, tiny_function):
+    vmm = VMM()
+    damon = DamonProfiler(
+        tiny_function.n_pages, rng=np.random.default_rng(1)
+    )
+    boot = vmm.boot_and_run(tiny_function, 3, 0)
+    snapshot = damon.profile(boot.execution.epoch_records)
+    path = tmp_path / "damon_0.json"
+    save_damon_file(snapshot, path)
+    return snapshot, path
+
+
+class TestRoundTrip:
+    def test_round_trip(self, damon_file):
+        snapshot, path = damon_file
+        loaded = load_damon_file(path)
+        assert loaded.n_pages == snapshot.n_pages
+        assert loaded.samples == snapshot.samples
+        np.testing.assert_allclose(
+            loaded.page_values(), snapshot.page_values()
+        )
+
+    def test_malformed_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ProfilingError):
+            load_damon_file(bad)
+        with pytest.raises(ProfilingError):
+            load_damon_file(tmp_path / "missing.json")
+
+
+class TestPatternFromFiles:
+    def test_offline_profile_matches_online(self, tmp_path, tiny_function):
+        """Profiling on one 'host' and analysing the persisted files
+        elsewhere yields the same unified pattern."""
+        from repro.profiling.unified import UnifiedAccessPattern
+
+        vmm = VMM()
+        damon = DamonProfiler(
+            tiny_function.n_pages, rng=np.random.default_rng(2)
+        )
+        online = UnifiedAccessPattern(
+            tiny_function.n_pages, convergence_window=10
+        )
+        paths = []
+        for i in range(5):
+            boot = vmm.boot_and_run(tiny_function, 3, i)
+            snap = damon.profile(boot.execution.epoch_records)
+            online.update(snap)
+            path = tmp_path / f"damon_{i}.json"
+            save_damon_file(snap, path)
+            paths.append(path)
+
+        offline = pattern_from_files(paths, convergence_window=10)
+        np.testing.assert_allclose(
+            offline.page_values(), online.page_values()
+        )
+        assert offline.invocations == online.invocations
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfilingError):
+            pattern_from_files([])

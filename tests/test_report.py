@@ -1,0 +1,57 @@
+"""Tests for the report formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report import Series, SeriesSet, Table, fmt
+
+
+class TestFmt:
+    def test_float_precision(self):
+        assert fmt(1.23456, 2) == "1.23"
+
+    def test_non_float_passthrough(self):
+        assert fmt("abc") == "abc"
+        assert fmt(42) == "42"
+        assert fmt(True) == "True"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("T", ["name", "value"])
+        t.add_row("a", 1.5)
+        t.add_row("longer", 2.25)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert len({len(l) for l in lines[3:]}) <= 2  # consistent widths
+
+    def test_row_width_checked(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_extraction(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            t.column("missing")
+
+    def test_empty_table_renders(self):
+        assert Table("T", ["x"]).render()
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_series_set_render(self):
+        s = SeriesSet("Fig", "x", "y")
+        s.add("line", [1, 2], [3.0, 4.0])
+        text = s.render()
+        assert "Fig" in text and "line" in text and "(1, 3.000)" in text

@@ -1,0 +1,55 @@
+"""Tests for deterministic RNG stream derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import derive_seed, spawn, stream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_key_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_key_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_64_bit_range(self):
+        s = derive_seed(123, "x")
+        assert 0 <= s < 2**64
+
+
+class TestStream:
+    def test_reproducible(self):
+        a = stream(7, "alpha").integers(0, 1000, size=10)
+        b = stream(7, "alpha").integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_streams_differ(self):
+        a = stream(7, "alpha").integers(0, 2**31, size=16)
+        b = stream(7, "beta").integers(0, 2**31, size=16)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_deterministic_given_parent_state(self):
+        parent1 = stream(9, "p")
+        parent2 = stream(9, "p")
+        a = spawn(parent1, "child").integers(0, 1000, size=8)
+        b = spawn(parent2, "child").integers(0, 1000, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_advances_parent(self):
+        parent = stream(9, "p")
+        before = parent.bit_generator.state["state"]["state"]
+        spawn(parent, "c")
+        after = parent.bit_generator.state["state"]["state"]
+        assert before != after

@@ -1,0 +1,80 @@
+"""Per-function shape tests: every Table I model behaves as documented."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions import INPUT_LABELS, SUITE, get_function
+from repro.memsim.tiers import Tier
+from repro.validate import predicted_full_slow_slowdown
+from repro.vm.microvm import MicroVM
+
+
+def measured_full_slow(func, input_index, seed=0):
+    trace = func.trace(input_index, seed)
+    slow = np.full(func.n_pages, int(Tier.SLOW), dtype=np.uint8)
+    fast = np.full(func.n_pages, int(Tier.FAST), dtype=np.uint8)
+    t_slow = MicroVM(func.n_pages, placement=slow).execute(trace).time_s
+    t_fast = MicroVM(func.n_pages, placement=fast).execute(trace).time_s
+    return t_slow / t_fast
+
+
+@pytest.mark.parametrize("func", SUITE, ids=lambda f: f.name)
+class TestEveryFunction:
+    def test_full_slow_matches_closed_form(self, func):
+        measured = measured_full_slow(func, 3)
+        predicted = predicted_full_slow_slowdown(func)
+        assert measured == pytest.approx(predicted, rel=0.08)
+
+    def test_slowdown_monotone_in_input(self, func):
+        slowdowns = [
+            predicted_full_slow_slowdown(func, i)
+            for i in range(len(INPUT_LABELS))
+        ]
+        assert slowdowns == sorted(slowdowns)
+
+    def test_ws_monotone_in_input(self, func):
+        ws = [func.ws_pages(i) for i in range(len(INPUT_LABELS))]
+        assert ws == sorted(ws)
+
+    def test_accesses_cover_working_set(self, func):
+        for i in range(len(INPUT_LABELS)):
+            assert func.total_accesses(i) >= func.ws_pages(i)
+
+    def test_trace_fits_guest(self, func):
+        trace = func.trace(0, 0)
+        assert trace.working_set.max() < func.n_pages
+
+    def test_invocation_variability_bounded(self, func):
+        """Same input, different seeds: execution times differ but stay
+        within a plausible band (the guest allocation/noise model)."""
+        times = [
+            MicroVM(func.n_pages).execute(func.trace(3, s)).time_s
+            for s in range(4)
+        ]
+        spread = max(times) / min(times)
+        assert 1.0 <= spread < 2.0
+
+
+class TestSuiteOrdering:
+    def test_fig2_ordering_preserved(self):
+        """The qualitative Figure 2 ordering is stable: compress least,
+        pagerank most affected by full offloading."""
+        slowdowns = {
+            f.name: predicted_full_slow_slowdown(f) for f in SUITE
+        }
+        ordered = sorted(slowdowns, key=slowdowns.get)
+        assert ordered[0] == "compress"
+        assert ordered[-1] == "pagerank"
+        assert set(ordered[-5:]) == {
+            "pagerank",
+            "matmul",
+            "linpack",
+            "lr_serving",
+            "image_processing",
+        }
+
+    def test_guest_sizes_are_bundles(self):
+        for f in SUITE:
+            assert f.guest_mb in (128, 256, 512, 1024)

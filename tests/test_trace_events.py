@@ -1,0 +1,92 @@
+"""Tests for the access-trace data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.errors import AddressSpaceError, ConfigError
+from repro.trace.events import AccessEpoch, InvocationTrace
+
+from conftest import make_trace
+
+
+class TestAccessEpoch:
+    def test_totals(self):
+        e = AccessEpoch(0.1, np.array([1, 5]), np.array([10, 20]))
+        assert e.total_accesses == 30
+        assert e.touched_pages == 2
+
+    def test_empty_epoch_allowed(self):
+        e = AccessEpoch(0.1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert e.total_accesses == 0
+
+    def test_unsorted_pages_rejected(self):
+        with pytest.raises(ConfigError):
+            AccessEpoch(0.1, np.array([5, 1]), np.array([1, 1]))
+
+    def test_duplicate_pages_rejected(self):
+        with pytest.raises(ConfigError):
+            AccessEpoch(0.1, np.array([3, 3]), np.array([1, 1]))
+
+    def test_zero_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            AccessEpoch(0.1, np.array([3]), np.array([0]))
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            AccessEpoch(0.1, np.array([-1]), np.array([1]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            AccessEpoch(0.1, np.array([1, 2]), np.array([1]))
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            AccessEpoch(0.1, np.array([1]), np.array([1]), random_fraction=1.5)
+        with pytest.raises(ConfigError):
+            AccessEpoch(0.1, np.array([1]), np.array([1]), store_fraction=-0.1)
+
+
+class TestInvocationTrace:
+    def test_histogram_sums_epochs(self):
+        trace = make_trace(n_epochs=3, pages=(0, 1), counts=(5, 7))
+        assert trace.histogram[0] == 15 and trace.histogram[1] == 21
+        assert trace.total_accesses == 36
+
+    def test_working_set(self):
+        trace = make_trace(pages=(0, 2, 9), counts=(1, 1, 1))
+        np.testing.assert_array_equal(trace.working_set, [0, 2, 9])
+        assert trace.working_set_pages == 3
+        assert trace.working_set_bytes == 3 * config.PAGE_SIZE
+
+    def test_cpu_time_sums(self):
+        trace = make_trace(cpu_time_s=0.03, n_epochs=3)
+        assert trace.cpu_time_s == pytest.approx(0.03)
+
+    def test_out_of_range_epoch_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            make_trace(n_pages=10, pages=(0, 10), counts=(1, 1))
+
+    def test_nominal_time(self):
+        trace = make_trace(pages=(0,), counts=(1000,), cpu_time_s=0.01)
+        t = trace.nominal_time_s(80e-9)
+        assert t == pytest.approx(0.01 + 1000 * 80e-9)
+
+    def test_first_touch_order(self):
+        e1 = AccessEpoch(0.1, np.array([5, 9]), np.array([1, 1]))
+        e2 = AccessEpoch(0.1, np.array([2, 5]), np.array([1, 1]))
+        trace = InvocationTrace(n_pages=16, epochs=(e1, e2))
+        np.testing.assert_array_equal(trace.first_touch_order(), [5, 9, 2])
+
+    def test_mean_random_fraction_weighted(self):
+        e1 = AccessEpoch(0.1, np.array([0]), np.array([30]), random_fraction=1.0)
+        e2 = AccessEpoch(0.1, np.array([0]), np.array([10]), random_fraction=0.0)
+        trace = InvocationTrace(n_pages=4, epochs=(e1, e2))
+        assert trace.mean_random_fraction == pytest.approx(0.75)
+
+    def test_mean_random_fraction_empty(self):
+        e = AccessEpoch(0.1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        trace = InvocationTrace(n_pages=4, epochs=(e,))
+        assert trace.mean_random_fraction == 0.0

@@ -1,0 +1,90 @@
+"""Tests for trace serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.io import load_trace, save_trace, trace_from_csv, trace_to_csv
+
+from conftest import make_trace
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path, tiny_function):
+        trace = tiny_function.trace(2, 5)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.n_pages == trace.n_pages
+        assert loaded.label == trace.label
+        assert len(loaded.epochs) == len(trace.epochs)
+        np.testing.assert_array_equal(loaded.histogram, trace.histogram)
+        for a, b in zip(loaded.epochs, trace.epochs):
+            assert a.cpu_time_s == pytest.approx(b.cpu_time_s)
+            assert a.store_fraction == b.store_fraction
+            np.testing.assert_array_equal(a.pages, b.pages)
+
+    def test_empty_epoch_round_trip(self, tmp_path):
+        trace = make_trace(pages=(), counts=())
+        path = tmp_path / "empty.npz"
+        save_trace(trace, path)
+        assert load_trace(path).total_accesses == 0
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+
+class TestCsv:
+    def test_round_trip(self):
+        trace = make_trace(pages=(1, 5, 9), counts=(10, 20, 30), n_epochs=2)
+        text = trace_to_csv(trace)
+        back = trace_from_csv(text, n_pages=trace.n_pages)
+        np.testing.assert_array_equal(back.histogram, trace.histogram)
+        assert len(back.epochs) == 2
+
+    def test_header_optional(self):
+        trace = trace_from_csv("0,3,7\n0,4,1\n", n_pages=16)
+        assert trace.total_accesses == 8
+
+    def test_duplicate_rows_accumulate(self):
+        trace = trace_from_csv("0,3,5\n0,3,5\n", n_pages=16)
+        assert trace.histogram[3] == 10
+
+    def test_gap_epochs_become_empty(self):
+        trace = trace_from_csv("0,1,1\n2,1,1\n", n_pages=16)
+        assert len(trace.epochs) == 3
+        assert trace.epochs[1].total_accesses == 0
+
+    def test_metadata_defaults(self):
+        trace = trace_from_csv(
+            "0,0,1\n", n_pages=4, store_fraction=0.4, random_fraction=0.2
+        )
+        assert trace.epochs[0].store_fraction == 0.4
+        assert trace.epochs[0].random_fraction == 0.2
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            trace_from_csv("0,abc,1\n", n_pages=16)
+        with pytest.raises(ConfigError):
+            trace_from_csv("0,1,0\n", n_pages=16)
+        with pytest.raises(ConfigError):
+            trace_from_csv("", n_pages=16)
+
+    def test_csv_trace_feeds_analysis(self):
+        """A hand-made CSV trace runs through the placement pipeline."""
+        rows = ["epoch,page,count"]
+        for page in range(64):
+            rows.append(f"0,{page},{1000 if page < 8 else 2}")
+        trace = trace_from_csv("\n".join(rows), n_pages=4096)
+        from repro.memsim.tiers import Tier
+        from repro.vm.microvm import MicroVM
+
+        slow = np.full(4096, int(Tier.SLOW), dtype=np.uint8)
+        t_slow = MicroVM(4096, placement=slow).execute(trace).time_s
+        t_fast = MicroVM(4096).execute(trace).time_s
+        assert t_slow > t_fast

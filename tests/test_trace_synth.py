@@ -1,0 +1,106 @@
+"""Tests for synthetic histogram builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.trace.synth import (
+    Band,
+    banded_histogram,
+    uniform_histogram,
+    zipf_histogram,
+)
+
+
+class TestBand:
+    def test_valid(self):
+        Band(0.5, 0.5)
+        Band(1.0, 0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            Band(0.0, 0.5)
+        with pytest.raises(ConfigError):
+            Band(1.5, 0.5)
+        with pytest.raises(ConfigError):
+            Band(0.5, 1.5)
+
+
+class TestBandedHistogram:
+    def test_exact_total(self, rng):
+        hist = banded_histogram(
+            1000, 12345, (Band(0.1, 0.7), Band(0.9, 0.3)), rng
+        )
+        assert hist.sum() == 12345
+        assert hist.size == 1000
+
+    def test_band_shares_respected(self, rng):
+        hist = banded_histogram(
+            1000, 100_000, (Band(0.1, 0.7), Band(0.9, 0.3)), rng, noise=0.0
+        )
+        head = hist[:100].sum()
+        assert head == pytest.approx(70_000, rel=0.02)
+
+    def test_hot_head_denser_than_tail(self, rng):
+        hist = banded_histogram(
+            1000, 100_000, (Band(0.1, 0.7), Band(0.9, 0.3)), rng
+        )
+        assert hist[:100].mean() > 10 * hist[100:].mean()
+
+    def test_share_sums_validated(self, rng):
+        with pytest.raises(ConfigError):
+            banded_histogram(100, 10, (Band(0.5, 0.5),), rng)
+        with pytest.raises(ConfigError):
+            banded_histogram(
+                100, 10, (Band(0.5, 0.9), Band(0.5, 0.2)), rng
+            )
+
+    def test_zero_total_allowed(self, rng):
+        hist = banded_histogram(100, 0, (Band(1.0, 1.0),), rng)
+        assert hist.sum() == 0
+
+    @given(
+        ws=st.integers(min_value=1, max_value=5000),
+        total=st.integers(min_value=0, max_value=10**6),
+        head=st.floats(min_value=0.05, max_value=0.95),
+        acc=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_always_exact(self, ws, total, head, acc, seed):
+        rng = np.random.default_rng(seed)
+        bands = (Band(head, acc), Band(1.0 - head, 1.0 - acc))
+        hist = banded_histogram(ws, total, bands, rng)
+        assert hist.sum() == total
+        assert (hist >= 0).all()
+
+
+class TestZipfAndUniform:
+    def test_zipf_monotone_without_shuffle(self, rng):
+        hist = zipf_histogram(100, 100_000, alpha=1.2, rng=rng, noise=0.0)
+        assert hist[0] > hist[10] > hist[99]
+
+    def test_zipf_shuffle_scatters(self):
+        rng = np.random.default_rng(0)
+        hist = zipf_histogram(1000, 100_000, alpha=1.2, rng=rng, shuffle=True)
+        # The hottest page should (almost surely) not be page 0 after shuffle.
+        top = np.argsort(hist)[::-1][:10]
+        assert not np.array_equal(np.sort(top), np.arange(10))
+
+    def test_uniform_is_flat(self, rng):
+        hist = uniform_histogram(1000, 1_000_000, rng, noise=0.0)
+        assert hist.max() - hist.min() <= 1
+
+    def test_exact_totals(self, rng):
+        assert zipf_histogram(77, 999, 0.8, rng).sum() == 999
+        assert uniform_histogram(77, 999, rng).sum() == 999
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ConfigError):
+            zipf_histogram(0, 10, 1.0, rng)
+        with pytest.raises(ConfigError):
+            zipf_histogram(10, 10, -1.0, rng)

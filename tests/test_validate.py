@@ -1,0 +1,50 @@
+"""Tests for the calibration health checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.functions import SUITE, get_function
+from repro.memsim.tiers import Tier
+from repro.validate import (
+    check_function,
+    check_suite,
+    predicted_full_slow_slowdown,
+)
+from repro.vm.microvm import MicroVM
+
+
+class TestCalibration:
+    def test_whole_suite_in_band(self):
+        results = check_suite()
+        failures = [r for r in results if not r.ok]
+        assert not failures, "\n".join(
+            f"{r.name}: predicted {r.predicted_full_slow:.3f} outside "
+            f"[{r.target_low}, {r.target_high}] {r.notes}"
+            for r in failures
+        )
+
+    def test_prediction_matches_simulation(self):
+        """The closed-form prediction agrees with the execution engine."""
+        func = get_function("matmul")
+        trace = func.trace(3, 0)
+        all_slow = np.full(func.n_pages, int(Tier.SLOW), dtype=np.uint8)
+        all_fast = np.full(func.n_pages, int(Tier.FAST), dtype=np.uint8)
+        t_slow = MicroVM(func.n_pages, placement=all_slow).execute(trace).time_s
+        t_fast = MicroVM(func.n_pages, placement=all_fast).execute(trace).time_s
+        measured = t_slow / t_fast
+        predicted = predicted_full_slow_slowdown(func)
+        # Fault costs and rounding keep them within a few percent.
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+    def test_pagerank_predicted_worst(self):
+        preds = {
+            f.name: predicted_full_slow_slowdown(f) for f in SUITE
+        }
+        assert max(preds, key=preds.get) == "pagerank"
+
+    def test_check_flags_structural_problems(self, tiny_function):
+        result = check_function(tiny_function)
+        # tiny_function has no target band: structural checks only.
+        assert result.ok

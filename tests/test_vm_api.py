@@ -1,0 +1,111 @@
+"""Tests for the Firecracker-style lifecycle API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TossSystem
+from repro.errors import VMError
+from repro.vm.api import FirecrackerApi, VmState
+
+
+@pytest.fixture
+def api() -> FirecrackerApi:
+    return FirecrackerApi()
+
+
+class TestLifecycle:
+    def test_create_starts_not_started(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        assert api.state(vm_id) is VmState.NOT_STARTED
+
+    def test_run_requires_running(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        with pytest.raises(VMError):
+            api.run(vm_id, 0)
+        api.resume(vm_id)
+        result = api.run(vm_id, 0)
+        assert result.time_s > 0
+
+    def test_pause_requires_running(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        with pytest.raises(VMError):
+            api.pause(vm_id)
+
+    def test_double_resume_rejected(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        api.resume(vm_id)
+        with pytest.raises(VMError):
+            api.resume(vm_id)
+
+    def test_kill(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        api.kill(vm_id)
+        with pytest.raises(VMError):
+            api.state(vm_id)
+
+    def test_unknown_vm(self, api):
+        with pytest.raises(VMError):
+            api.resume("vm-999")
+
+
+class TestSnapshots:
+    def test_snapshot_requires_pause(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        api.resume(vm_id)
+        with pytest.raises(VMError):
+            api.snapshot_create(vm_id)
+        api.pause(vm_id)
+        snap_id = api.snapshot_create(vm_id)
+        assert snap_id in api.list_snapshots()
+
+    def test_diff_snapshots_unsupported(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        api.resume(vm_id)
+        api.pause(vm_id)
+        with pytest.raises(VMError):
+            api.snapshot_create(vm_id, kind="diff")
+
+    def test_load_starts_paused(self, api, tiny_function):
+        vm_id = api.create_vm(tiny_function)
+        api.resume(vm_id)
+        api.run(vm_id, 1)
+        api.pause(vm_id)
+        snap_id = api.snapshot_create(vm_id)
+        loaded = api.snapshot_load(snap_id, strategy="lazy")
+        assert api.state(loaded) is VmState.PAUSED
+        api.resume(loaded)
+        result = api.run(loaded, 1)
+        assert result.counters.major_faults > 0  # lazy restore faults
+
+    def test_unknown_snapshot(self, api):
+        with pytest.raises(VMError):
+            api.snapshot_load("snap-404")
+
+    def test_register_tiered_snapshot(self, api, tiny_function):
+        """An externally built TOSS snapshot loads through the API."""
+        system = TossSystem(tiny_function, convergence_window=3)
+        snap_id = api.register_snapshot(system.tiered_snapshot, tiny_function)
+        loaded = api.snapshot_load(snap_id)  # auto -> tiered restore
+        handle_setup = api._handle(loaded).setup_time_s
+        assert handle_setup > 0
+        api.resume(loaded)
+        result = api.run(loaded, 3)
+        assert result.counters.slow_accesses > 0
+
+    def test_register_size_mismatch(self, api, tiny_function,
+                                     memory_intensive_function):
+        system = TossSystem(tiny_function, convergence_window=3)
+        # Same guest size here, so build a mismatch artificially.
+        from repro.functions.base import FunctionModel
+
+        big = FunctionModel(
+            name="big",
+            description="",
+            guest_mb=256,
+            input_type="N",
+            inputs=tiny_function.inputs,
+            bands=tiny_function.bands,
+        )
+        with pytest.raises(VMError):
+            api.register_snapshot(system.tiered_snapshot, big)

@@ -1,0 +1,93 @@
+"""Tests for snapshot objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.errors import SnapshotError
+from repro.memsim.tiers import Tier
+from repro.vm.layout import MemoryLayout
+from repro.vm.snapshot import ReapSnapshot, SingleTierSnapshot, TieredSnapshot
+
+
+def snap(n_pages=1024, label="s") -> SingleTierSnapshot:
+    return SingleTierSnapshot(
+        n_pages=n_pages,
+        page_versions=np.arange(n_pages, dtype=np.uint64),
+        label=label,
+    )
+
+
+class TestSingleTierSnapshot:
+    def test_size(self):
+        s = snap(2048)
+        assert s.size_bytes == 2048 * config.PAGE_SIZE
+
+    def test_creation_time_scales(self):
+        assert snap(4096).creation_time_s() > snap(1024).creation_time_s()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SnapshotError):
+            SingleTierSnapshot(n_pages=10, page_versions=np.zeros(5, dtype=np.uint64))
+
+
+class TestReapSnapshot:
+    def test_ws_accounting(self):
+        base = snap()
+        mask = np.zeros(1024, dtype=bool)
+        mask[:100] = True
+        r = ReapSnapshot(base=base, ws_mask=mask, snapshot_input=2)
+        assert r.ws_pages == 100
+        assert r.ws_bytes == 100 * config.PAGE_SIZE
+        assert r.n_pages == 1024
+
+    def test_mask_mismatch_rejected(self):
+        with pytest.raises(SnapshotError):
+            ReapSnapshot(base=snap(), ws_mask=np.zeros(10, dtype=bool))
+
+
+class TestTieredSnapshot:
+    def _tiered(self, slow_pages=700, n_pages=1024, sd=1.1):
+        placement = np.zeros(n_pages, dtype=np.uint8)
+        placement[:slow_pages] = int(Tier.SLOW)
+        return TieredSnapshot(
+            base=snap(n_pages),
+            layout=MemoryLayout.from_placement(placement),
+            expected_slowdown=sd,
+        )
+
+    def test_fractions(self):
+        t = self._tiered(768, 1024)
+        assert t.slow_fraction == pytest.approx(0.75)
+        assert t.fast_fraction == pytest.approx(0.25)
+
+    def test_tier_bytes(self):
+        t = self._tiered(700, 1024)
+        assert t.tier_bytes(Tier.SLOW) == 700 * config.PAGE_SIZE
+        assert t.tier_bytes(Tier.FAST) == 324 * config.PAGE_SIZE
+
+    def test_generation_time_matches_paper_range(self):
+        # Several hundred ms for 128 MB, a couple of seconds at 1 GB.
+        t128 = self._tiered(1000, 128 * 256).generation_time_s()
+        t1g = self._tiered(1000, 1024 * 256).generation_time_s()
+        assert 0.05 < t128 < 0.5
+        assert 0.8 < t1g < 3.0
+
+    def test_layout_size_mismatch_rejected(self):
+        placement = np.zeros(512, dtype=np.uint8)
+        with pytest.raises(SnapshotError):
+            TieredSnapshot(
+                base=snap(1024),
+                layout=MemoryLayout.from_placement(placement),
+            )
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(SnapshotError):
+            self._tiered(sd=0.9)
+
+    def test_placement_round_trip(self):
+        t = self._tiered(100, 1024)
+        placement = t.placement()
+        assert int((placement == int(Tier.SLOW)).sum()) == 100
