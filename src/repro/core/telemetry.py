@@ -24,6 +24,10 @@ class EventKind(enum.Enum):
     SNAPSHOT_GENERATED = "snapshot-generated"
     TIERED_INVOCATION = "tiered-invocation"
     REPROFILE_TRIGGERED = "reprofile-triggered"
+    RESTORE_RETRIED = "restore-retried"
+    FALLBACK_RESTORE = "fallback-restore"
+    PHASE_DEGRADED = "phase-degraded"
+    TIER_BACKPRESSURE = "tier-backpressure"
 
 
 @dataclass(frozen=True)
@@ -42,16 +46,26 @@ class TelemetryLog:
     def __init__(self) -> None:
         self.events: list[TelemetryEvent] = []
         self._subscribers: list[Callable[[TelemetryEvent], None]] = []
+        self.subscriber_errors: list[tuple[TelemetryEvent, Exception]] = []
 
     def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
         """Call ``callback`` for every future event."""
         self._subscribers.append(callback)
 
     def emit(self, event: TelemetryEvent) -> None:
-        """Record an event and fan it out."""
+        """Record an event and fan it out.
+
+        Subscribers are isolated from one another: a raising callback
+        never poisons delivery to later subscribers (or the emitting
+        controller).  Their exceptions are collected in
+        :attr:`subscriber_errors` for inspection rather than propagated.
+        """
         self.events.append(event)
         for callback in self._subscribers:
-            callback(event)
+            try:
+                callback(event)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self.subscriber_errors.append((event, exc))
 
     # -- queries -----------------------------------------------------------
 

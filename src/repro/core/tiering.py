@@ -34,8 +34,11 @@ def build_tiered_snapshot(
             f"{base.n_pages}"
         )
     layout = MemoryLayout.from_placement(analysis.placement)
+    # The per-tier files are physical copies of the single-tier file, so
+    # at-rest damage to one snapshot never propagates to the other (the
+    # lazy-restore fallback depends on this).
     return TieredSnapshot(
-        base=base,
+        base=base.copy(),
         layout=layout,
         expected_slowdown=analysis.expected_slowdown,
         source_inputs=tuple(source_inputs),

@@ -18,12 +18,13 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from .. import config, rng as rng_mod
-from ..errors import AnalysisError
+from .. import config, faults as faults_mod, rng as rng_mod
+from ..errors import AnalysisError, SnapshotCorruptionError, SnapshotError
 from ..functions.base import FunctionModel
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
 from ..profiling.damon import DamonConfig, DamonProfiler
 from ..profiling.unified import UnifiedAccessPattern
+from ..vm.restore import recovering_restore
 from ..vm.snapshot import SingleTierSnapshot, TieredSnapshot
 from ..vm.vmm import VMM
 from .analysis import AnalysisResult, ProfilingAnalyzer
@@ -53,12 +54,18 @@ class TossConfig:
     min_profiling_invocations: int = 3
     damon: DamonConfig = field(default_factory=DamonConfig)
     root_seed: int = config.DEFAULT_SEED
+    degrade_after_failures: int = 3
+    """Consecutive tiered-restore failures tolerated before the controller
+    degrades the function back to the profiling phase (regenerating the
+    tiered snapshot) instead of retrying the same files forever."""
 
     def __post_init__(self) -> None:
         if self.min_profiling_invocations < 2:
             raise AnalysisError(
                 "need at least two profiling invocations (one DAMON warm-up)"
             )
+        if self.degrade_after_failures < 1:
+            raise AnalysisError("degrade_after_failures must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,12 @@ class InvocationOutcome:
     exec_time_s: float
     slow_fraction: float
     analysis_generated: bool = False
+    retries: int = 0
+    """Faulted snapshot reads recovered by retry during this restore."""
+    failures: int = 0
+    """Restore failures absorbed (each one served via fallback instead)."""
+    degraded: bool = False
+    """Served in a degraded mode: fallback restore or tier backpressure."""
 
     @property
     def total_time_s(self) -> float:
@@ -89,8 +102,14 @@ class TossController:
         memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
         cfg: TossConfig = TossConfig(),
         telemetry: TelemetryLog | None = None,
+        faults: "faults_mod.FaultInjector | None" = None,
     ) -> None:
         self.function = function
+        self.faults = faults
+        if faults is not None and memory.fault_hook is None:
+            # Wire the slow-tier backpressure hook so degraded executions
+            # and their accounting share one latency source.
+            memory = memory.with_fault_hook(faults)
         self.memory = memory
         self.cfg = cfg
         self.telemetry = telemetry
@@ -102,8 +121,14 @@ class TossController:
         self.analysis: AnalysisResult | None = None
         self.reprofile = ReprofilePolicy(bound=cfg.reprofile_bound)
         self.profiling_cycles = 0
+        self.restore_failures = 0
+        self._consecutive_restore_failures = 0
         self._seq = 0
         self._reset_profiling_state()
+
+    def _injector(self) -> "faults_mod.FaultInjector | None":
+        """The active fault injector: explicit, else the installed default."""
+        return faults_mod.resolve(self.faults)
 
     def _emit(self, kind: EventKind, **detail) -> None:
         if self.telemetry is not None:
@@ -184,14 +209,33 @@ class TossController:
     # -- Step II ---------------------------------------------------------------
 
     def _profiling_invocation(self, input_index: int, seed: int) -> InvocationOutcome:
-        assert self.single_snapshot is not None
+        if self.single_snapshot is None:
+            raise SnapshotError(
+                f"{self.function.name}: profiling phase entered before the "
+                "initial single-tier snapshot was captured"
+            )
         restore = self.vmm.restore(self.single_snapshot, "lazy")
         trace = self.function.trace(input_index, seed, root_seed=self.cfg.root_seed)
         result = restore.vm.execute(trace)
         exec_time = result.time_s * (1.0 + config.DAMON_OVERHEAD)
         snapshot = self.damon.profile(result.epoch_records)
         self.n_damon_invocations += 1
-        if self.n_damon_invocations > 1:
+        injector = self._injector()
+        samples_lost = (
+            injector is not None
+            and not injector.is_zero
+            and injector.draw_sample_loss()
+        )
+        if samples_lost:
+            # The DAMON output file never landed: the pattern cannot fold
+            # this invocation in, so profiling extends by one invocation
+            # instead of converging on partial data.
+            self._emit(
+                EventKind.PHASE_DEGRADED,
+                transition="profiling-extended",
+                reason="profiler-sample-loss",
+            )
+        elif self.n_damon_invocations > 1:
             # First DAMON file is the region-adaptation warm-up.
             self.pattern.update(snapshot)
         self._track_biggest(input_index, result.time_s)
@@ -228,7 +272,11 @@ class TossController:
     # -- Steps III & IV ----------------------------------------------------------
 
     def _run_analysis(self) -> None:
-        assert self.single_snapshot is not None
+        if self.single_snapshot is None:
+            raise SnapshotError(
+                f"{self.function.name}: analysis requires the single-tier "
+                "snapshot from the initial invocation"
+            )
         profile_trace = self.function.trace(
             self._biggest_input,
             rng_mod.derive_seed(self.cfg.root_seed, "bin-profiling",
@@ -264,13 +312,68 @@ class TossController:
         )
 
     def _tiered_invocation(self, input_index: int, seed: int) -> InvocationOutcome:
-        assert self.tiered_snapshot is not None
-        restore = self.vmm.restore(self.tiered_snapshot, "toss")
+        if self.tiered_snapshot is None:
+            raise SnapshotError(
+                f"{self.function.name}: tiered phase entered without a "
+                "tiered snapshot"
+            )
+        snapshot = self.tiered_snapshot
+        injector = self._injector()
+        restore, fault = recovering_restore(
+            snapshot,
+            memory=self.memory,
+            injector=injector,
+            fallback_source=self.single_snapshot,
+        )
+        if restore.retries:
+            self._emit(EventKind.RESTORE_RETRIED, retries=restore.retries)
+        if restore.backpressure > 1.0:
+            self._emit(
+                EventKind.TIER_BACKPRESSURE,
+                multiplier=round(restore.backpressure, 4),
+            )
+        failures = 0
+        if fault is not None:
+            failures = 1
+            self.restore_failures += 1
+            self._consecutive_restore_failures += 1
+            self._emit(
+                EventKind.FALLBACK_RESTORE,
+                error=type(fault).__name__,
+                failures=self._consecutive_restore_failures,
+            )
+        else:
+            self._consecutive_restore_failures = 0
+
         trace = self.function.trace(input_index, seed, root_seed=self.cfg.root_seed)
         result = restore.vm.execute(trace)
-        self.reprofile.observe(result.time_s)
+        degraded = restore.fallback or restore.backpressure > 1.0
+        if not restore.fallback:
+            # Fallback executions run all-DRAM with SSD fault storms;
+            # their latency says nothing about the tiered placement, so
+            # they are excluded from the re-profiling signal.
+            self.reprofile.observe(result.time_s)
         self._emit(EventKind.TIERED_INVOCATION, input_index=input_index)
-        if self.reprofile.should_reprofile:
+
+        # Degradation transition: unrecoverable corruption (the tier files
+        # stay damaged) or repeated transient failures send the function
+        # back to profiling, which regenerates the tiered snapshot from
+        # the intact single-tier file.
+        corrupted = isinstance(fault, SnapshotCorruptionError)
+        if corrupted or (
+            self._consecutive_restore_failures >= self.cfg.degrade_after_failures
+        ):
+            self._emit(
+                EventKind.PHASE_DEGRADED,
+                transition="tiered->profiling",
+                reason="snapshot-corruption" if corrupted else "repeated-failures",
+                failures=self._consecutive_restore_failures,
+            )
+            self.tiered_snapshot = None
+            self._consecutive_restore_failures = 0
+            self.phase = Phase.PROFILING
+            self._reset_profiling_state()
+        elif self.reprofile.should_reprofile:
             # Re-enter the profiling phase; the next invocations enhance
             # the pattern and regenerate the snapshot (Section V-E).
             self._emit(
@@ -285,5 +388,8 @@ class TossController:
             seed=seed,
             setup_time_s=restore.setup_time_s,
             exec_time_s=result.time_s,
-            slow_fraction=self.tiered_snapshot.slow_fraction,
+            slow_fraction=0.0 if restore.fallback else snapshot.slow_fraction,
+            retries=restore.retries,
+            failures=failures,
+            degraded=degraded,
         )

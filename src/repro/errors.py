@@ -24,6 +24,30 @@ class SnapshotError(ReproError):
     """Snapshot creation, serialization, or restore failed."""
 
 
+class FaultInjected(ReproError):
+    """Base class for failures originating from the fault-injection plane.
+
+    Everything the :mod:`repro.faults` injector makes components raise
+    derives from this, so chaos tests can tell injected failures apart
+    from genuine modelling bugs."""
+
+
+class SnapshotCorruptionError(FaultInjected):
+    """A snapshot file failed its page-checksum verification."""
+
+    def __init__(self, message: str, corrupt_pages=None) -> None:
+        super().__init__(message)
+        self.corrupt_pages = corrupt_pages
+
+
+class TierUnavailableError(FaultInjected):
+    """The slow memory tier cannot be mapped (outage window)."""
+
+
+class RestoreRetryExhausted(FaultInjected):
+    """Faulted snapshot reads kept failing past the retry budget."""
+
+
 class LayoutError(ReproError):
     """A tiered memory-layout file is malformed or inconsistent."""
 

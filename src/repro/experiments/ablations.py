@@ -7,12 +7,10 @@ threshold (<100 accesses), and the fast/slow cost ratio (2.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.analysis import ProfilingAnalyzer
-from ..core.cost import normalized_cost
 from ..functions import get_function
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem, TierSpec
 from ..profiling.damon import DamonProfiler

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from .. import config
 from ..baselines import DramBaseline, ReapSystem, TossSystem, VanillaLazy
 from ..functions import SUITE, get_function
 

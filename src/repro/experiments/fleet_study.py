@@ -52,9 +52,16 @@ def run(
     include_extended: bool = True,
     requests_per_function: int = 50,
     seed: int = 11,
+    function_names: list[str] | None = None,
 ) -> FleetResult:
-    """Evaluate packing density and billing across the fleet."""
+    """Evaluate packing density and billing across the fleet.
+
+    ``function_names`` restricts the fleet to a named subset (matching
+    :mod:`fig7_setup_time`'s parameter) for fast regression runs.
+    """
     functions = list(SUITE) + (list(EXTENDED_SUITE) if include_extended else [])
+    if function_names is not None:
+        functions = [f for f in functions if f.name in function_names]
     rng = rng_mod.stream(seed, "fleet")
     table = Table(
         "Fleet study: packing density and invocation-weighted savings "

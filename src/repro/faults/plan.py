@@ -1,0 +1,190 @@
+"""Fault plans: the declarative half of the fault-injection plane.
+
+A :class:`FaultPlan` bundles one spec per fault domain — snapshot storage
+(SSD), the slow memory tier, snapshot files at rest, and the profiler —
+plus the seed every injection decision derives from.  Plans are frozen
+and purely declarative; :class:`~repro.faults.injector.FaultInjector`
+turns them into deterministic decisions.
+
+The all-zero plan (:data:`ZERO_PLAN`) is the identity: a run with it is
+bit-identical to a run with no fault plane at all, which the chaos test
+suite asserts on the real experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import config
+from ..errors import ConfigError
+
+__all__ = [
+    "StorageFaultSpec",
+    "TierFaultSpec",
+    "SnapshotFaultSpec",
+    "ProfilerFaultSpec",
+    "FaultPlan",
+    "ZERO_PLAN",
+]
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must lie in [0, 1], got {value}")
+
+
+def _check_windows(name: str, windows, *, with_multiplier: bool) -> None:
+    for window in windows:
+        expected = 3 if with_multiplier else 2
+        if len(window) != expected:
+            raise ConfigError(f"{name} entries need {expected} fields: {window}")
+        start, end = window[0], window[1]
+        if end <= start:
+            raise ConfigError(f"{name} window must satisfy start < end: {window}")
+        if with_multiplier and window[2] < 1.0:
+            raise ConfigError(f"{name} multiplier must be >= 1: {window}")
+
+
+@dataclass(frozen=True)
+class StorageFaultSpec:
+    """Faults of the snapshot storage device (the Optane SSD).
+
+    ``read_error_rate`` is the per-page-read probability that the device
+    returns an error; the restore layer retries such reads with capped
+    exponential backoff (``backoff_base_s`` doubling up to
+    ``backoff_cap_s``, at most ``max_retries`` attempts).  Each retry
+    succeeds with ``retry_success_rate`` (defaults to the complement of
+    the error rate).  Independently, ``latency_spike_rate`` of reads
+    stall for ``latency_spike_s`` without failing.
+    """
+
+    read_error_rate: float = 0.0
+    retry_success_rate: float | None = None
+    max_retries: int = 4
+    backoff_base_s: float = 100e-6
+    backoff_cap_s: float = 10e-3
+    latency_spike_rate: float = 0.0
+    latency_spike_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        _check_rate("read_error_rate", self.read_error_rate)
+        _check_rate("latency_spike_rate", self.latency_spike_rate)
+        if self.retry_success_rate is not None:
+            _check_rate("retry_success_rate", self.retry_success_rate)
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+        if self.backoff_base_s <= 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigError("need 0 < backoff_base_s <= backoff_cap_s")
+        if self.latency_spike_s < 0:
+            raise ConfigError("latency_spike_s must be non-negative")
+
+    @property
+    def effective_retry_success_rate(self) -> float:
+        """Retry success probability (complement of the error rate unless
+        pinned explicitly)."""
+        if self.retry_success_rate is not None:
+            return self.retry_success_rate
+        return 1.0 - self.read_error_rate
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this spec never injects anything."""
+        return self.read_error_rate == 0.0 and self.latency_spike_rate == 0.0
+
+
+@dataclass(frozen=True)
+class TierFaultSpec:
+    """Faults of the slow memory tier (PMEM pressure and outages).
+
+    ``outage_windows`` are ``(start_s, end_s)`` intervals of simulated
+    time during which the slow tier cannot be mapped: tiered restores
+    raise :class:`~repro.errors.TierUnavailableError` and must fall back.
+    ``backpressure_windows`` are ``(start_s, end_s, latency_multiplier)``
+    intervals during which slow-tier access latency is inflated — the
+    software-defined-tier demotion-pressure scenario.
+    """
+
+    outage_windows: tuple[tuple[float, float], ...] = ()
+    backpressure_windows: tuple[tuple[float, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_windows("outage_windows", self.outage_windows, with_multiplier=False)
+        _check_windows(
+            "backpressure_windows", self.backpressure_windows, with_multiplier=True
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this spec never injects anything."""
+        return not self.outage_windows and not self.backpressure_windows
+
+
+@dataclass(frozen=True)
+class SnapshotFaultSpec:
+    """At-rest corruption of snapshot files.
+
+    ``corruption_rate`` is the per-restore probability that the snapshot
+    file being opened turns out corrupt; when it fires, ``corrupt_pages``
+    page versions are flipped in place, so page-level checksums
+    (:meth:`~repro.vm.snapshot.SingleTierSnapshot.verify`) detect the
+    damage on this and every later restore until the snapshot is
+    regenerated.
+    """
+
+    corruption_rate: float = 0.0
+    corrupt_pages: int = 8
+
+    def __post_init__(self) -> None:
+        _check_rate("corruption_rate", self.corruption_rate)
+        if self.corrupt_pages < 1:
+            raise ConfigError("corrupt_pages must be >= 1")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this spec never injects anything."""
+        return self.corruption_rate == 0.0
+
+
+@dataclass(frozen=True)
+class ProfilerFaultSpec:
+    """Loss of profiler output (a DAMON file that never lands).
+
+    ``sample_loss_rate`` is the per-profiling-invocation probability that
+    the DAMON snapshot is lost before it can be folded into the unified
+    pattern; the controller extends profiling instead of crashing.
+    """
+
+    sample_loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("sample_loss_rate", self.sample_loss_rate)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this spec never injects anything."""
+        return self.sample_loss_rate == 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One spec per fault domain plus the seed all decisions derive from."""
+
+    ssd: StorageFaultSpec = field(default_factory=StorageFaultSpec)
+    tier: TierFaultSpec = field(default_factory=TierFaultSpec)
+    snapshot: SnapshotFaultSpec = field(default_factory=SnapshotFaultSpec)
+    profiler: ProfilerFaultSpec = field(default_factory=ProfilerFaultSpec)
+    seed: int = config.DEFAULT_SEED
+
+    @property
+    def is_zero(self) -> bool:
+        """True when no domain ever injects (the identity plan)."""
+        return (
+            self.ssd.is_zero
+            and self.tier.is_zero
+            and self.snapshot.is_zero
+            and self.profiler.is_zero
+        )
+
+
+ZERO_PLAN = FaultPlan()
+"""The identity plan: injects nothing, perturbs nothing."""

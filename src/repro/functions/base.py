@@ -18,7 +18,6 @@ The same (function, input, seed) triple always yields the same trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 

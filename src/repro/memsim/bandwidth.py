@@ -20,7 +20,7 @@ baseline scales flat in Figure 9 while PMEM-heavy placements do not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import config
 from ..errors import ConfigError

@@ -8,9 +8,9 @@ experiments can report how much I/O each restore strategy caused.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from .. import config
+from .. import config, faults
 from ..errors import ConfigError
 
 __all__ = ["StorageSpec", "StorageDevice", "DEFAULT_SSD"]
@@ -64,13 +64,30 @@ class StorageDevice:
     bytes_written: int = 0
     random_reads: int = 0
     random_writes: int = 0
+    injector: object | None = None
+    """Optional fault hook (a :class:`repro.faults.FaultInjector`); falls
+    back to the process-wide default injector when unset.  Injected device
+    stalls are billed into the returned read times and tracked in
+    :attr:`injected_stall_s`."""
+    injected_stall_s: float = 0.0
+
+    def _fault_stall(self, n_ops: int) -> float:
+        injector = faults.resolve(self.injector)
+        if injector is None:
+            return 0.0
+        stall = injector.storage_spike_s(n_ops)
+        self.injected_stall_s += stall
+        return stall
 
     def sequential_read_time(self, nbytes: int) -> float:
-        """Seconds to stream ``nbytes`` sequentially from the device."""
+        """Seconds to stream ``nbytes`` sequentially from the device.
+
+        One sequential stream counts as a single operation for injected
+        latency spikes."""
         if nbytes < 0:
             raise ConfigError("nbytes must be non-negative")
         self.bytes_read += nbytes
-        return nbytes / self.spec.seq_read_bps
+        return nbytes / self.spec.seq_read_bps + self._fault_stall(1)
 
     def sequential_write_time(self, nbytes: int) -> float:
         """Seconds to stream ``nbytes`` sequentially to the device."""
@@ -93,7 +110,7 @@ class StorageDevice:
         self.random_reads += n_pages
         self.bytes_read += n_pages * config.PAGE_SIZE
         effective_iops = self.spec.random_read_iops / concurrency
-        return n_pages / effective_iops
+        return n_pages / effective_iops + self._fault_stall(n_pages)
 
     def reset_counters(self) -> None:
         """Zero the I/O accounting (used between experiment repetitions)."""
@@ -101,6 +118,7 @@ class StorageDevice:
         self.bytes_written = 0
         self.random_reads = 0
         self.random_writes = 0
+        self.injected_stall_s = 0.0
 
 
 DEFAULT_SSD = StorageDevice()

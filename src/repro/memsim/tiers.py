@@ -8,6 +8,7 @@ tier and answers the latency/cost queries the rest of the simulator needs.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import math
 from dataclasses import dataclass
@@ -139,6 +140,11 @@ class MemorySystem:
 
     fast: TierSpec
     slow: TierSpec
+    fault_hook: object | None = None
+    """Optional fault hook (a :class:`repro.faults.FaultInjector`).  When
+    set, :meth:`spec` inflates slow-tier latency by the hook's current
+    backpressure multiplier; ``None`` (the default) is the exact pre-fault
+    happy path."""
 
     def __post_init__(self) -> None:
         if self.slow.load_latency_s < self.fast.load_latency_s:
@@ -146,9 +152,28 @@ class MemorySystem:
         if self.slow.cost_per_mb > self.fast.cost_per_mb:
             raise ConfigError("slow tier must not cost more than the fast tier")
 
+    def with_fault_hook(self, hook: object | None) -> "MemorySystem":
+        """A copy of this system wired to a fault hook (or unwired)."""
+        return dataclasses.replace(self, fault_hook=hook)
+
     def spec(self, tier: Tier | int) -> TierSpec:
-        """Return the :class:`TierSpec` for a tier id."""
-        return self.fast if Tier(tier) == Tier.FAST else self.slow
+        """Return the :class:`TierSpec` for a tier id.
+
+        Under slow-tier backpressure (fault hook active inside a window)
+        the returned slow spec carries inflated load/store latencies, so
+        execution, accounting, and billing all see the same degraded
+        device."""
+        if Tier(tier) == Tier.FAST:
+            return self.fast
+        if self.fault_hook is not None:
+            mult = self.fault_hook.slow_latency_multiplier()
+            if mult > 1.0:
+                return dataclasses.replace(
+                    self.slow,
+                    load_latency_s=self.slow.load_latency_s * mult,
+                    store_latency_s=self.slow.store_latency_s * mult,
+                )
+        return self.slow
 
     @property
     def cost_ratio(self) -> float:
@@ -164,10 +189,11 @@ class MemorySystem:
         self, random_fraction: float = 0.0, store_fraction: float = 0.0
     ) -> np.ndarray:
         """Per-tier effective access latency, indexable by :class:`Tier`."""
+        slow = self.spec(Tier.SLOW)
         return np.array(
             [
                 self.fast.effective_access_latency_s(random_fraction, store_fraction),
-                self.slow.effective_access_latency_s(random_fraction, store_fraction),
+                slow.effective_access_latency_s(random_fraction, store_fraction),
             ]
         )
 

@@ -13,7 +13,7 @@ VMs; :func:`packing_density` measures the multiplier TOSS buys.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SchedulerError
 

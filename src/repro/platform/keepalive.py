@@ -12,7 +12,7 @@ more functions warm: that synergy is quantified by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SchedulerError
 

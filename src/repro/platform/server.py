@@ -13,13 +13,12 @@ lower layers directly.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
-import numpy as np
-
-from .. import config
+from .. import config, faults as faults_mod
+from ..core.telemetry import EventKind, TelemetryEvent, TelemetryLog
 from ..core.toss import InvocationOutcome, Phase, TossConfig, TossController
-from ..errors import SchedulerError
+from ..errors import FaultInjected, SchedulerError
 from ..functions.base import FunctionModel
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
 from ..pricing.billing import TieredBill, bill_invocation
@@ -52,6 +51,14 @@ class RequestLogEntry:
     setup_time_s: float
     exec_time_s: float
     bill: TieredBill
+    retries: int = 0
+    """Faulted snapshot reads recovered by retry while serving this request."""
+    failures: int = 0
+    """Restore failures absorbed (served via fallback) for this request."""
+    degraded: bool = False
+    """Served in degraded mode (fallback restore or tier backpressure)."""
+    failed: bool = False
+    """The request could not be served at all (unrecoverable fault)."""
 
     @property
     def queue_delay_s(self) -> float:
@@ -75,14 +82,20 @@ class ServerlessPlatform:
         toss_cfg: TossConfig | None = None,
         keepalive: "KeepAliveCache | None" = None,
         prewarm: "PrewarmPolicy | None" = None,
+        faults: "faults_mod.FaultInjector | None" = None,
+        telemetry: TelemetryLog | None = None,
     ) -> None:
         if n_cores < 1:
             raise SchedulerError("need at least one core")
         self.n_cores = n_cores
+        self.faults = faults
+        if faults is not None and memory.fault_hook is None:
+            memory = memory.with_fault_hook(faults)
         self.memory = memory
         self.toss_cfg = toss_cfg if toss_cfg is not None else TossConfig()
         self.keepalive = keepalive
         self.prewarm = prewarm
+        self.telemetry = telemetry
         self.deployments: dict[str, FunctionDeployment] = {}
         self.log: list[RequestLogEntry] = []
 
@@ -94,7 +107,11 @@ class ServerlessPlatform:
             self.deployments[function.name] = FunctionDeployment(
                 function=function,
                 controller=TossController(
-                    function, memory=self.memory, cfg=self.toss_cfg
+                    function,
+                    memory=self.memory,
+                    cfg=self.toss_cfg,
+                    telemetry=self.telemetry,
+                    faults=self.faults,
                 ),
             )
         return self.deployments[function.name]
@@ -107,9 +124,14 @@ class ServerlessPlatform:
     ) -> list[RequestLogEntry]:
         """Serve ``(arrival_s, function_name, input_index)`` requests.
 
-        Requests queue for cores FIFO per arrival order; each is served to
-        completion on one core (vCPU pinning, no preemption).  Returns the
-        log entries appended for this batch.
+        Requests queue for cores FIFO per arrival order, ties broken by
+        ``(function_name, input_index)`` so equal-arrival batches replay
+        identically regardless of the input list's order; each request is
+        served to completion on one core (vCPU pinning, no preemption).
+        Injected faults that even the controller's fallback chain cannot
+        absorb fail only the one request (logged with ``failed=True``) —
+        the platform itself keeps serving.  Returns the log entries
+        appended for this batch.
         """
         for _, name, _ in requests:
             if name not in self.deployments:
@@ -117,11 +139,46 @@ class ServerlessPlatform:
         cores = [0.0] * self.n_cores
         heapq.heapify(cores)
         batch: list[RequestLogEntry] = []
-        for arrival, name, input_index in sorted(requests, key=lambda r: r[0]):
+        for arrival, name, input_index in sorted(requests):
             dep = self.deployments[name]
             free_at = heapq.heappop(cores)
             start = max(arrival, free_at)
-            outcome = self._invoke(dep, input_index)
+            if self.faults is not None:
+                # Time-windowed faults (outages, backpressure) key off the
+                # moment the restore actually begins.
+                self.faults.advance_to(start)
+            try:
+                outcome = self._invoke(dep, input_index)
+            except FaultInjected as exc:
+                heapq.heappush(cores, start)
+                self._emit_platform_event(
+                    EventKind.FALLBACK_RESTORE,
+                    name,
+                    dep.invocations,
+                    error=type(exc).__name__,
+                    unserved=True,
+                )
+                batch.append(
+                    RequestLogEntry(
+                        function=name,
+                        input_index=input_index,
+                        arrival_s=arrival,
+                        start_s=start,
+                        finish_s=start,
+                        phase=dep.controller.phase,
+                        setup_time_s=0.0,
+                        exec_time_s=0.0,
+                        bill=TieredBill(
+                            dram_cost=0.0,
+                            tiered_cost=0.0,
+                            slow_fraction=0.0,
+                            slowdown=1.0,
+                        ),
+                        failures=1,
+                        failed=True,
+                    )
+                )
+                continue
             dep.invocations += 1
             # Predictive pre-warming hides the restore of a correctly
             # anticipated tiered invocation (Section VI-A: "TOSS can load
@@ -136,24 +193,20 @@ class ServerlessPlatform:
                 )
                 self.prewarm.observe(name, arrival)
                 if hidden:
-                    outcome = InvocationOutcome(
-                        phase=outcome.phase,
-                        input_index=outcome.input_index,
-                        seed=outcome.seed,
-                        setup_time_s=0.0,
-                        exec_time_s=outcome.exec_time_s,
-                        slow_fraction=outcome.slow_fraction,
-                        analysis_generated=outcome.analysis_generated,
-                    )
+                    outcome = replace(outcome, setup_time_s=0.0)
             finish = start + outcome.total_time_s
             heapq.heappush(cores, finish)
             bill = bill_invocation(
                 guest_mb=dep.function.guest_mb,
                 duration_s=outcome.total_time_s,
                 slow_fraction=outcome.slow_fraction,
+                # Fallback-served requests ran all-DRAM (slow_fraction 0):
+                # they are billed as DRAM invocations with no slowdown.
                 slowdown=(
                     dep.controller.analysis.expected_slowdown
-                    if outcome.phase is Phase.TIERED and dep.controller.analysis
+                    if outcome.phase is Phase.TIERED
+                    and outcome.slow_fraction > 0
+                    and dep.controller.analysis
                     else 1.0
                 ),
                 memory=self.memory,
@@ -169,10 +222,26 @@ class ServerlessPlatform:
                     setup_time_s=outcome.setup_time_s,
                     exec_time_s=outcome.exec_time_s,
                     bill=bill,
+                    retries=outcome.retries,
+                    failures=outcome.failures,
+                    degraded=outcome.degraded,
                 )
             )
         self.log.extend(batch)
         return batch
+
+    def _emit_platform_event(
+        self, kind: EventKind, function: str, invocation: int, **detail
+    ) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                TelemetryEvent(
+                    kind=kind,
+                    function=function,
+                    invocation=invocation,
+                    detail=detail,
+                )
+            )
 
     # -- keep-alive integration ----------------------------------------------------
 
@@ -189,6 +258,15 @@ class ServerlessPlatform:
             # Warm tiered start: the VM is resident on both tiers, so no
             # restore happens — execution still pays slow-tier latency.
             snapshot = ctl.tiered_snapshot
+            if snapshot is None:
+                # A stale keep-alive entry outlived its tiered snapshot
+                # (e.g. dropped after a degradation); the cache must not
+                # keep advertising a VM that cannot exist.
+                self.keepalive.invalidate(dep.function.name)
+                raise SchedulerError(
+                    f"keep-alive cache holds {dep.function.name!r} but the "
+                    "controller has no tiered snapshot; stale entry evicted"
+                )
             vm = MicroVM(
                 dep.function.n_pages,
                 memory=self.memory,
@@ -208,7 +286,11 @@ class ServerlessPlatform:
             )
         else:
             outcome = ctl.invoke(input_index)
-        if self.keepalive is not None and ctl.phase is Phase.TIERED:
+        if (
+            self.keepalive is not None
+            and ctl.phase is Phase.TIERED
+            and ctl.tiered_snapshot is not None
+        ):
             snapshot = ctl.tiered_snapshot
             self.keepalive.admit(
                 dep.function.name,
@@ -235,3 +317,38 @@ class ServerlessPlatform:
         if dram == 0:
             return 0.0
         return 1.0 - self.total_billed() / dram
+
+    # -- reliability metrics ----------------------------------------------------
+
+    def availability(self) -> float:
+        """Fraction of requests actually served (1.0 with no log).
+
+        A request counts as served even when it needed retries or a
+        fallback restore — only ``failed`` entries (faults the whole
+        recovery chain could not absorb) reduce availability.
+        """
+        if not self.log:
+            return 1.0
+        served = sum(1 for e in self.log if not e.failed)
+        return served / len(self.log)
+
+    def degraded_time_s(self) -> float:
+        """Busy time (setup + execution) spent serving in degraded mode."""
+        return sum(
+            e.setup_time_s + e.exec_time_s for e in self.log if e.degraded
+        )
+
+    def degraded_fraction(self) -> float:
+        """Share of total busy time that was served degraded."""
+        total = sum(e.setup_time_s + e.exec_time_s for e in self.log)
+        if total == 0:
+            return 0.0
+        return self.degraded_time_s() / total
+
+    def total_retries(self) -> int:
+        """Faulted reads recovered by retry across the log."""
+        return sum(e.retries for e in self.log)
+
+    def total_failures(self) -> int:
+        """Restore failures absorbed (fallback-served) plus failed requests."""
+        return sum(e.failures for e in self.log)

@@ -15,7 +15,6 @@ a categorical palette, and labels — enough to read the shapes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from .errors import ConfigError
 from .report import SeriesSet, Table

@@ -23,7 +23,7 @@ region-granularity artefacts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -165,7 +165,6 @@ class DamonProfiler:
         duration = max(epoch.duration_s, self.cfg.sampling_interval_s)
         samples = max(1, int(round(duration / self.cfg.sampling_interval_s)))
         # Per-page probability of being seen accessed in one interval.
-        starts = self._bounds[:-1]
         sizes = np.diff(self._bounds).astype(np.float64)
         if epoch.pages.size:
             rates = epoch.counts * self.cfg.access_bit_scale / duration

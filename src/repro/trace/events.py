@@ -9,7 +9,7 @@ any page placement: ``stall = sum(counts * latency(tier(page)))``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np

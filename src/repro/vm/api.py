@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import config
 from ..errors import VMError

@@ -164,8 +164,10 @@ class MicroVM:
             )
         counters = PerfCounters()
         records: list[EpochRecord] = []
-        slow = self.memory.slow
-        fast = self.memory.fast
+        # Resolve tier specs through the memory system so an active fault
+        # hook (slow-tier backpressure) is reflected in this execution.
+        slow = self.memory.spec(Tier.SLOW)
+        fast = self.memory.spec(Tier.FAST)
 
         fast_bytes = 0.0
         slow_read_ops = 0.0

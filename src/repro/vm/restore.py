@@ -20,12 +20,12 @@ strategy's residual fault costs (Figure 8's total invocation time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from .. import config
-from ..errors import SnapshotError
+from .. import config, faults
+from ..errors import FaultInjected, RestoreRetryExhausted, TierUnavailableError
 from ..memsim.storage import StorageDevice
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem, Tier
 from .microvm import Backing, MicroVM
@@ -37,17 +37,43 @@ __all__ = [
     "lazy_restore",
     "reap_restore",
     "tiered_restore",
+    "recovering_restore",
 ]
 
 
 @dataclass(frozen=True)
 class RestoreResult:
-    """A restored (cold) VM plus the setup-time bill."""
+    """A restored (cold) VM plus the setup-time bill.
+
+    ``retries``/``fault_stall_s`` report recovery work the restore had to
+    absorb from injected faults (zero on the happy path); ``fallback``
+    marks a result produced by the vanilla lazy path after the requested
+    strategy failed unrecoverably; ``backpressure`` is the slow-tier
+    latency multiplier in force when the restore happened."""
 
     vm: MicroVM
     setup_time_s: float
     strategy: str
     n_mappings: int = 1
+    retries: int = 0
+    fault_stall_s: float = 0.0
+    fallback: bool = False
+    backpressure: float = 1.0
+
+
+def _verify_snapshot(snapshot, injector: "faults.FaultInjector | None") -> None:
+    """Restore-time integrity check, active only under a fault plane.
+
+    Draws at-rest corruption for this open, then checksum-verifies the
+    memory file (which also catches damage injected on earlier opens).
+    Without an injector — or with the all-zero plan — this is a no-op, so
+    fault-free restores stay bit-identical to the pre-fault code path.
+    """
+    if injector is None or injector.is_zero:
+        return
+    if injector.draw_snapshot_corruption():
+        injector.corrupt_snapshot(snapshot.base)
+    snapshot.verify()
 
 
 def warm_restore(
@@ -95,6 +121,7 @@ def reap_restore(
     *,
     memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
     ssd: StorageDevice | None = None,
+    injector: "faults.FaultInjector | None" = None,
 ) -> RestoreResult:
     """REAP restore: eager working-set prefetch (Section VI-B).
 
@@ -102,8 +129,27 @@ def reap_restore(
     entries of every WS page, so setup time grows with the recorded
     working set.  Pages outside the WS are registered with userfaultfd and
     served one-by-one on first touch.
+
+    Under a fault plane, the snapshot file is checksum-verified first
+    (raising :class:`~repro.errors.SnapshotCorruptionError` on damage) and
+    faulted WS page reads are retried with capped exponential backoff —
+    billed into setup time — raising
+    :class:`~repro.errors.RestoreRetryExhausted` past the retry budget.
     """
+    injector = faults.resolve(injector)
+    _verify_snapshot(snapshot, injector)
     ssd = ssd if ssd is not None else StorageDevice()
+    retries = 0
+    fault_stall_s = 0.0
+    if injector is not None and not injector.is_zero:
+        outcome = injector.retry_reads(injector.draw_read_faults(snapshot.ws_pages))
+        if outcome.unrecoverable:
+            raise RestoreRetryExhausted(
+                f"REAP prefetch of {snapshot.base.label!r}: "
+                f"{outcome.n_faults} faulted reads exceeded the retry budget"
+            )
+        retries = outcome.retries
+        fault_stall_s = outcome.backoff_s
     backing = np.full(snapshot.n_pages, int(Backing.UFFD_SSD), dtype=np.uint8)
     backing[snapshot.ws_mask] = int(Backing.RESIDENT)
     vm = MicroVM(
@@ -113,19 +159,30 @@ def reap_restore(
         page_versions=snapshot.base.page_versions,
         label=f"reap:{snapshot.base.label}",
     )
+    stall_before = ssd.injected_stall_s
     setup = (
         config.VM_STATE_LOAD_S
         + 2 * config.MMAP_REGION_SETUP_S  # memory file + WS file
         + ssd.sequential_read_time(snapshot.ws_bytes)
         + snapshot.ws_pages * config.REAP_POPULATE_PER_PAGE_S
+        + fault_stall_s
     )
-    return RestoreResult(vm=vm, setup_time_s=setup, strategy="reap", n_mappings=2)
+    fault_stall_s += ssd.injected_stall_s - stall_before
+    return RestoreResult(
+        vm=vm,
+        setup_time_s=setup,
+        strategy="reap",
+        n_mappings=2,
+        retries=retries,
+        fault_stall_s=fault_stall_s,
+    )
 
 
 def tiered_restore(
     snapshot: TieredSnapshot,
     *,
     memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+    injector: "faults.FaultInjector | None" = None,
 ) -> RestoreResult:
     """TOSS restore (Section V-D).
 
@@ -134,7 +191,37 @@ def tiered_restore(
     (no storage I/O, ever); fast-tier regions map the persistent fast-tier
     file and are copied into DRAM on first touch.  Setup time depends only
     on the number of mappings — constant per function.
+
+    Under a fault plane the restore refuses to map through a slow-tier
+    outage window (:class:`~repro.errors.TierUnavailableError`) and
+    checksum-verifies the tier files before mapping
+    (:class:`~repro.errors.SnapshotCorruptionError` on damage).
     """
+    injector = faults.resolve(injector)
+    backpressure = 1.0
+    retries = 0
+    fault_stall_s = 0.0
+    if injector is not None and not injector.is_zero:
+        if not injector.slow_tier_available():
+            raise TierUnavailableError(
+                f"tiered restore of {snapshot.base.label!r}: slow tier is in "
+                f"an outage window at t={injector.now:.3f}s"
+            )
+        backpressure = injector.slow_latency_multiplier()
+        # The layout file and the per-region metadata reads come from
+        # snapshot storage, so they see the device's error rate; faulted
+        # reads are retried with capped exponential backoff.
+        n_reads = 1 + snapshot.layout.n_mappings
+        outcome = injector.retry_reads(injector.draw_read_faults(n_reads))
+        if outcome.unrecoverable:
+            raise RestoreRetryExhausted(
+                f"tiered restore of {snapshot.base.label!r}: "
+                f"{outcome.n_faults} faulted layout reads exceeded the "
+                "retry budget"
+            )
+        retries = outcome.retries
+        fault_stall_s = outcome.backoff_s
+    _verify_snapshot(snapshot, injector)
     placement = snapshot.placement()
     backing = np.where(
         placement == int(Tier.SLOW), int(Backing.DAX_SLOW), int(Backing.PMEM_COPY)
@@ -152,10 +239,49 @@ def tiered_restore(
         + config.TIERED_RESTORE_BASE_S
         + snapshot.layout.parse_time_s()
         + snapshot.layout.n_mappings * config.MMAP_REGION_SETUP_S
+        + fault_stall_s
     )
     return RestoreResult(
         vm=vm,
         setup_time_s=setup,
         strategy="toss",
         n_mappings=snapshot.layout.n_mappings,
+        retries=retries,
+        fault_stall_s=fault_stall_s,
+        backpressure=backpressure,
     )
+
+
+def recovering_restore(
+    snapshot: SingleTierSnapshot | ReapSnapshot | TieredSnapshot,
+    *,
+    memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+    injector: "faults.FaultInjector | None" = None,
+    fallback_source: SingleTierSnapshot | None = None,
+) -> tuple[RestoreResult, FaultInjected | None]:
+    """Restore by the snapshot's natural strategy, falling back to the
+    vanilla lazy restore of a single-tier memory file when the strategy
+    fails on an injected fault.
+
+    The lazy path is the recovery anchor: it needs only a single-tier
+    memory file and demand paging, so it always succeeds.
+    ``fallback_source`` names that file; it defaults to the snapshot's own
+    base, but callers that kept the original single-tier snapshot should
+    pass it — it is a physically separate file, so it survives corruption
+    of the tier files.  Returns the result (``fallback=True`` if recovery
+    happened) plus the fault that forced the fallback, or ``None`` on a
+    clean restore.
+    """
+    injector = faults.resolve(injector)
+    try:
+        if isinstance(snapshot, TieredSnapshot):
+            return tiered_restore(snapshot, memory=memory, injector=injector), None
+        if isinstance(snapshot, ReapSnapshot):
+            return reap_restore(snapshot, memory=memory, injector=injector), None
+        return lazy_restore(snapshot, memory=memory), None
+    except FaultInjected as exc:
+        base = fallback_source
+        if base is None:
+            base = snapshot.base if hasattr(snapshot, "base") else snapshot
+        result = lazy_restore(base, memory=memory)
+        return replace(result, fallback=True), exc

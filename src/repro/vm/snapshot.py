@@ -3,21 +3,41 @@
 Snapshots capture a microVM's guest memory.  We model contents as a
 per-page ``uint64`` version array — enough to verify restore correctness
 (every restored page must carry the captured version) without storing real
-bytes.  Each snapshot kind also knows its simulated creation cost.
+bytes.  Each snapshot kind also knows its simulated creation cost, and
+carries per-page checksums so at-rest corruption (real or injected by
+:mod:`repro.faults`) is detectable at restore time via :meth:`verify`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from .. import config
-from ..errors import SnapshotError
+from ..errors import SnapshotCorruptionError, SnapshotError
 from ..memsim.tiers import Tier
 from .layout import MemoryLayout
 
-__all__ = ["SingleTierSnapshot", "ReapSnapshot", "TieredSnapshot"]
+__all__ = [
+    "checksum_pages",
+    "SingleTierSnapshot",
+    "ReapSnapshot",
+    "TieredSnapshot",
+]
+
+_CHECKSUM_MULT = np.uint64(0x9E3779B97F4A7C15)
+_CHECKSUM_SHIFT = np.uint64(7)
+
+
+def checksum_pages(page_versions: np.ndarray) -> np.ndarray:
+    """Per-page checksum of a version array (a cheap 64-bit mix).
+
+    Stands in for the per-page CRC a real snapshot file would carry: any
+    version flip changes the checksum, and recomputation is vectorised.
+    """
+    v = np.asarray(page_versions, dtype=np.uint64)
+    return (v * _CHECKSUM_MULT) ^ (v >> _CHECKSUM_SHIFT)
 
 
 @dataclass(frozen=True)
@@ -31,6 +51,7 @@ class SingleTierSnapshot:
     n_pages: int
     page_versions: np.ndarray
     label: str = ""
+    page_checksums: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         versions = np.asarray(self.page_versions, dtype=np.uint64)
@@ -40,6 +61,13 @@ class SingleTierSnapshot:
                 f"{self.n_pages} pages"
             )
         object.__setattr__(self, "page_versions", versions)
+        if self.page_checksums is None:
+            object.__setattr__(self, "page_checksums", checksum_pages(versions))
+        else:
+            checksums = np.asarray(self.page_checksums, dtype=np.uint64)
+            if checksums.shape != (self.n_pages,):
+                raise SnapshotError("checksum array does not match guest size")
+            object.__setattr__(self, "page_checksums", checksums)
 
     @property
     def size_bytes(self) -> int:
@@ -49,6 +77,34 @@ class SingleTierSnapshot:
     def creation_time_s(self) -> float:
         """Simulated cost of writing the memory file to the SSD."""
         return self.size_bytes / config.SSD_SEQ_WRITE_BPS
+
+    def corrupt_pages(self) -> np.ndarray:
+        """Indices of pages whose contents no longer match their checksum."""
+        return np.flatnonzero(checksum_pages(self.page_versions)
+                              != self.page_checksums)
+
+    def verify(self) -> None:
+        """Check every page against its captured checksum.
+
+        Raises :class:`~repro.errors.SnapshotCorruptionError` when any
+        page fails; a clean snapshot returns silently.
+        """
+        corrupt = self.corrupt_pages()
+        if corrupt.size:
+            raise SnapshotCorruptionError(
+                f"snapshot {self.label!r}: {corrupt.size} of {self.n_pages} "
+                "pages fail checksum verification",
+                corrupt_pages=corrupt,
+            )
+
+    def copy(self) -> "SingleTierSnapshot":
+        """An independent physical copy (fresh version/checksum arrays)."""
+        return SingleTierSnapshot(
+            n_pages=self.n_pages,
+            page_versions=self.page_versions.copy(),
+            label=self.label,
+            page_checksums=self.page_checksums.copy(),
+        )
 
 
 @dataclass(frozen=True)
@@ -86,6 +142,10 @@ class ReapSnapshot:
     def ws_bytes(self) -> int:
         """Working-set file size in bytes."""
         return self.ws_pages * config.PAGE_SIZE
+
+    def verify(self) -> None:
+        """Checksum-verify the base memory file (raises on corruption)."""
+        self.base.verify()
 
 
 @dataclass(frozen=True)
@@ -144,3 +204,7 @@ class TieredSnapshot:
     def tier_bytes(self, tier: Tier | int) -> int:
         """Size of one tier's snapshot file."""
         return self.layout.pages_in_tier(tier) * config.PAGE_SIZE
+
+    def verify(self) -> None:
+        """Checksum-verify the per-tier memory files (raises on corruption)."""
+        self.base.verify()

@@ -106,11 +106,16 @@ class VMM:
 
     # -- restores ------------------------------------------------------------------
 
-    def restore(self, snapshot, strategy: str = "auto") -> RestoreResult:
+    def restore(
+        self, snapshot, strategy: str = "auto", *, injector=None
+    ) -> RestoreResult:
         """Restore a snapshot by name or by its natural strategy.
 
         ``auto`` picks tiered for :class:`TieredSnapshot`, REAP for
-        :class:`ReapSnapshot`, lazy for plain snapshots.
+        :class:`ReapSnapshot`, lazy for plain snapshots.  ``injector``
+        (a :class:`repro.faults.FaultInjector`) threads the fault plane
+        into the REAP/tiered paths; the warm and lazy paths take no
+        injectable faults — lazy restore is the recovery anchor.
         """
         if strategy == "auto":
             if isinstance(snapshot, TieredSnapshot):
@@ -126,7 +131,7 @@ class VMM:
             base = snapshot.base if hasattr(snapshot, "base") else snapshot
             return lazy_restore(base, memory=self.memory)
         if strategy == "reap":
-            return reap_restore(snapshot, memory=self.memory)
+            return reap_restore(snapshot, memory=self.memory, injector=injector)
         if strategy == "toss":
-            return tiered_restore(snapshot, memory=self.memory)
+            return tiered_restore(snapshot, memory=self.memory, injector=injector)
         raise ValueError(f"unknown restore strategy {strategy!r}")

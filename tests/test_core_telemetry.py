@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.telemetry import EventKind, TelemetryEvent, TelemetryLog
 from repro.core.toss import Phase, TossConfig, TossController
 
@@ -25,6 +23,39 @@ class TestTelemetryLog:
         event = TelemetryEvent(EventKind.PATTERN_CONVERGED, "f", 5)
         log.emit(event)
         assert seen == [event]
+
+    def test_raising_subscriber_is_isolated(self):
+        """A subscriber that throws must not lose the event or starve
+        later subscribers; the error is parked in ``subscriber_errors``."""
+        log = TelemetryLog()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        log.subscribe(bad)
+        log.subscribe(seen.append)
+        event = TelemetryEvent(EventKind.PHASE_DEGRADED, "f", 1)
+        log.emit(event)
+        # The event was recorded and the healthy subscriber still ran.
+        assert log.events == [event]
+        assert seen == [event]
+        # The failure is observable, not swallowed silently.
+        assert len(log.subscriber_errors) == 1
+        failed_event, exc = log.subscriber_errors[0]
+        assert failed_event is event
+        assert isinstance(exc, RuntimeError)
+
+    def test_of_kind_preserves_emission_order(self):
+        log = TelemetryLog()
+        for i in (3, 1, 2):
+            log.emit(TelemetryEvent(EventKind.RESTORE_RETRIED, "f", i))
+            log.emit(TelemetryEvent(EventKind.TIERED_INVOCATION, "f", i))
+        retried = log.of_kind(EventKind.RESTORE_RETRIED)
+        # Emission order, not invocation order, and only the asked kind.
+        assert [e.invocation for e in retried] == [3, 1, 2]
+        assert all(e.kind is EventKind.RESTORE_RETRIED for e in retried)
+        assert log.of_kind(EventKind.FALLBACK_RESTORE) == []
 
     def test_timeline_renders(self):
         log = TelemetryLog()

@@ -9,7 +9,6 @@ from repro.core.reprofile import ReprofilePolicy
 from repro.core.tiering import build_tiered_snapshot
 from repro.core.analysis import ProfilingAnalyzer
 from repro.errors import AnalysisError, SnapshotError
-from repro.memsim.tiers import Tier
 from repro.vm.snapshot import SingleTierSnapshot
 from repro.vm.vmm import VMM
 

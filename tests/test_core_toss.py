@@ -68,7 +68,7 @@ class TestLifecycle:
     def test_minimum_profiling_respected(self, tiny_function):
         ctl = controller(tiny_function, min_profiling_invocations=6)
         for _ in range(4):
-            out = ctl.invoke(3)
+            ctl.invoke(3)
         assert ctl.phase is Phase.PROFILING
 
     def test_reprofiling_threshold_must_be_sane(self):
@@ -93,7 +93,7 @@ class TestBiggestInputSelection:
         ctl = controller(tiny_function)
         ctl.invoke(0)
         for _ in range(40):
-            out = ctl.invoke(3)
+            ctl.invoke(3)
             if ctl.phase is Phase.TIERED:
                 break
         assert ctl.phase is Phase.TIERED

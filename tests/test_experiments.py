@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 import repro.experiments as ex
 from repro.functions import INPUT_LABELS
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines import TossSystem
 from repro.experiments.common import (
     ALL_INPUTS,

@@ -1,0 +1,64 @@
+"""Zero-fault equivalence: the all-zero FaultPlan is invisible.
+
+Installing ``FaultPlan()`` as the session default routes every restore,
+storage access, and controller decision through the fault plane — and
+must change nothing.  These regressions pin that on the two headline
+artifacts: the Figure 7 setup-time experiment and the fleet study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.experiments import common, fig7_setup_time, fleet_study
+from repro.faults import FaultPlan
+
+FUNCTIONS = ["float_operation", "pyaes"]
+
+
+def _clear_experiment_caches():
+    """Force full recomputation so the second run actually goes through
+    the installed fault plane instead of returning cached systems."""
+    for helper in (
+        common.toss_cached,
+        common.dram_cached,
+        common.reap_cached,
+        common.vanilla_cached,
+        common.warm_time_cached,
+    ):
+        helper.cache_clear()
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    _clear_experiment_caches()
+    yield
+    _clear_experiment_caches()
+
+
+def test_fig7_setup_time_is_byte_identical_under_zero_plan():
+    baseline = fig7_setup_time.run(function_names=FUNCTIONS)
+    _clear_experiment_caches()
+    with faults.injected(FaultPlan()) as injector:
+        zeroed = fig7_setup_time.run(function_names=FUNCTIONS)
+        assert injector._draws == {}  # the plane never consumed RNG
+    assert zeroed.toss == baseline.toss
+    assert zeroed.reap_min == baseline.reap_min
+    assert zeroed.reap_avg == baseline.reap_avg
+    assert zeroed.reap_max == baseline.reap_max
+    assert zeroed.table.rows == baseline.table.rows
+
+
+def test_fleet_study_is_byte_identical_under_zero_plan():
+    kwargs = dict(
+        include_extended=False,
+        requests_per_function=5,
+        function_names=FUNCTIONS,
+    )
+    baseline = fleet_study.run(**kwargs)
+    with faults.injected(FaultPlan()):
+        zeroed = fleet_study.run(**kwargs)
+    assert zeroed.density == baseline.density
+    assert zeroed.savings_fraction == baseline.savings_fraction
+    assert zeroed.table.rows == baseline.table.rows

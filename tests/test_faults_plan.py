@@ -1,0 +1,188 @@
+"""Tests for the fault plan / injector plane itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.errors import ConfigError
+from repro.faults import (
+    ZERO_PLAN,
+    FaultInjector,
+    FaultPlan,
+    ProfilerFaultSpec,
+    SnapshotFaultSpec,
+    StorageFaultSpec,
+    TierFaultSpec,
+)
+from repro.vm.snapshot import SingleTierSnapshot
+
+
+class TestPlanValidation:
+    def test_zero_plan_is_zero(self):
+        assert ZERO_PLAN.is_zero
+        assert FaultPlan().is_zero
+
+    def test_any_domain_makes_plan_nonzero(self):
+        assert not FaultPlan(ssd=StorageFaultSpec(read_error_rate=0.1)).is_zero
+        assert not FaultPlan(
+            tier=TierFaultSpec(outage_windows=((1.0, 2.0),))
+        ).is_zero
+        assert not FaultPlan(
+            snapshot=SnapshotFaultSpec(corruption_rate=0.5)
+        ).is_zero
+        assert not FaultPlan(
+            profiler=ProfilerFaultSpec(sample_loss_rate=0.5)
+        ).is_zero
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            StorageFaultSpec(read_error_rate=1.5)
+        with pytest.raises(ConfigError):
+            SnapshotFaultSpec(corruption_rate=-0.1)
+        with pytest.raises(ConfigError):
+            ProfilerFaultSpec(sample_loss_rate=2.0)
+
+    def test_windows_validated(self):
+        with pytest.raises(ConfigError):
+            TierFaultSpec(outage_windows=((5.0, 5.0),))
+        with pytest.raises(ConfigError):
+            TierFaultSpec(backpressure_windows=((0.0, 1.0, 0.5),))
+
+    def test_backoff_validated(self):
+        with pytest.raises(ConfigError):
+            StorageFaultSpec(backoff_base_s=1e-3, backoff_cap_s=1e-4)
+        with pytest.raises(ConfigError):
+            StorageFaultSpec(max_retries=0)
+
+    def test_retry_success_defaults_to_error_complement(self):
+        spec = StorageFaultSpec(read_error_rate=0.2)
+        assert spec.effective_retry_success_rate == pytest.approx(0.8)
+        pinned = StorageFaultSpec(read_error_rate=0.2, retry_success_rate=0.5)
+        assert pinned.effective_retry_success_rate == 0.5
+
+
+class TestInjectorDeterminism:
+    def _plan(self, seed=7):
+        return FaultPlan(
+            ssd=StorageFaultSpec(read_error_rate=0.05, latency_spike_rate=0.02),
+            snapshot=SnapshotFaultSpec(corruption_rate=0.3),
+            profiler=ProfilerFaultSpec(sample_loss_rate=0.3),
+            seed=seed,
+        )
+
+    def test_same_seed_same_decisions(self):
+        a, b = FaultInjector(self._plan()), FaultInjector(self._plan())
+        for _ in range(20):
+            assert a.draw_read_faults(1000) == b.draw_read_faults(1000)
+            assert a.draw_snapshot_corruption() == b.draw_snapshot_corruption()
+            assert a.draw_sample_loss() == b.draw_sample_loss()
+        assert a.counters == b.counters
+
+    def test_domains_are_independent_streams(self):
+        """Extra draws in one domain never shift another domain's stream."""
+        a, b = FaultInjector(self._plan()), FaultInjector(self._plan())
+        for _ in range(10):
+            a.draw_read_faults(1000)  # only a consumes the ssd stream
+        seq_a = [a.draw_sample_loss() for _ in range(10)]
+        seq_b = [b.draw_sample_loss() for _ in range(10)]
+        assert seq_a == seq_b
+
+    def test_zero_plan_never_draws(self):
+        inj = FaultInjector()
+        assert inj.is_zero
+        assert inj.draw_read_faults(10**6) == 0
+        assert inj.retry_reads(0).retries == 0
+        assert inj.storage_spike_s(10**6) == 0.0
+        assert inj.slow_tier_available()
+        assert inj.slow_latency_multiplier() == 1.0
+        assert not inj.draw_snapshot_corruption()
+        assert not inj.draw_sample_loss()
+        assert inj._draws == {}  # no stream was ever touched
+        assert all(v == 0 for v in inj.counters.values())
+
+
+class TestRetries:
+    def test_backoff_is_capped_exponential(self):
+        plan = FaultPlan(
+            ssd=StorageFaultSpec(
+                read_error_rate=0.5,
+                retry_success_rate=0.0,  # never recovers: all retries spent
+                max_retries=4,
+                backoff_base_s=1e-3,
+                backoff_cap_s=4e-3,
+            )
+        )
+        outcome = FaultInjector(plan).retry_reads(1)
+        assert outcome.unrecoverable
+        assert outcome.retries == 4
+        # 1 + 2 + 4 + capped 4 milliseconds
+        assert outcome.backoff_s == pytest.approx(11e-3)
+
+    def test_certain_retry_success_recovers(self):
+        plan = FaultPlan(
+            ssd=StorageFaultSpec(read_error_rate=0.5, retry_success_rate=1.0)
+        )
+        outcome = FaultInjector(plan).retry_reads(5)
+        assert not outcome.unrecoverable
+        assert outcome.retries == 5  # one retry per faulted read
+
+
+class TestTierWindows:
+    def test_outage_window_bounds(self):
+        plan = FaultPlan(tier=TierFaultSpec(outage_windows=((10.0, 20.0),)))
+        inj = FaultInjector(plan)
+        assert inj.slow_tier_available(9.99)
+        assert not inj.slow_tier_available(10.0)
+        assert not inj.slow_tier_available(19.99)
+        assert inj.slow_tier_available(20.0)
+
+    def test_clock_advancing(self):
+        plan = FaultPlan(tier=TierFaultSpec(outage_windows=((10.0, 20.0),)))
+        inj = FaultInjector(plan)
+        assert inj.slow_tier_available()
+        inj.advance_to(15.0)
+        assert not inj.slow_tier_available()
+
+    def test_backpressure_takes_worst_matching_window(self):
+        plan = FaultPlan(
+            tier=TierFaultSpec(
+                backpressure_windows=((0.0, 50.0, 2.0), (10.0, 20.0, 5.0))
+            )
+        )
+        inj = FaultInjector(plan)
+        assert inj.slow_latency_multiplier(5.0) == 2.0
+        assert inj.slow_latency_multiplier(15.0) == 5.0
+        assert inj.slow_latency_multiplier(60.0) == 1.0
+
+
+class TestSnapshotCorruption:
+    def test_corrupt_snapshot_is_detectable_and_counted(self):
+        snap = SingleTierSnapshot(
+            n_pages=256,
+            page_versions=np.arange(1, 257, dtype=np.uint64),
+            label="victim",
+        )
+        plan = FaultPlan(snapshot=SnapshotFaultSpec(corruption_rate=1.0,
+                                                    corrupt_pages=4))
+        inj = FaultInjector(plan)
+        pages = inj.corrupt_snapshot(snap)
+        assert pages.size == 4
+        np.testing.assert_array_equal(np.sort(snap.corrupt_pages()),
+                                      np.sort(pages))
+        assert inj.counters["corrupted_pages"] == 4
+
+
+class TestDefaultInstall:
+    def test_injected_context_restores_previous(self):
+        assert faults.get_default() is None
+        with faults.injected(FaultPlan()) as inj:
+            assert faults.get_default() is inj
+            assert faults.resolve(None) is inj
+            other = FaultInjector()
+            assert faults.resolve(other) is other
+            with faults.injected(FaultPlan(seed=99)) as inner:
+                assert faults.get_default() is inner
+            assert faults.get_default() is inj
+        assert faults.get_default() is None

@@ -16,7 +16,6 @@ from repro.functions import (
     get_function,
     table1,
 )
-from repro.trace.synth import Band
 
 
 class TestInputSpec:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.functions import INPUT_LABELS, SUITE, get_function
+from repro.functions import INPUT_LABELS, SUITE
 from repro.memsim.tiers import Tier
 from repro.validate import predicted_full_slow_slowdown
 from repro.vm.microvm import MicroVM

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.vm.snapshot import ReapSnapshot, TieredSnapshot
+from repro.vm.snapshot import ReapSnapshot
 from repro.vm.vmm import VMM
 
 
