@@ -28,6 +28,10 @@ class EventKind(enum.Enum):
     FALLBACK_RESTORE = "fallback-restore"
     PHASE_DEGRADED = "phase-degraded"
     TIER_BACKPRESSURE = "tier-backpressure"
+    REQUEST_SHED = "request-shed"
+    DEADLINE_ABORTED = "deadline-aborted"
+    BREAKER_TRANSITION = "breaker-transition"
+    HEALTH_TRANSITION = "health-transition"
 
 
 @dataclass(frozen=True)

@@ -16,15 +16,20 @@ Step IV   — the tiered snapshot is generated; later invocations restore
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .. import config, faults as faults_mod, rng as rng_mod
-from ..errors import AnalysisError, SnapshotCorruptionError, SnapshotError
+from ..errors import (
+    AnalysisError,
+    DeadlineExceededError,
+    SnapshotCorruptionError,
+    SnapshotError,
+)
 from ..functions.base import FunctionModel
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
 from ..profiling.damon import DamonConfig, DamonProfiler
 from ..profiling.unified import UnifiedAccessPattern
-from ..vm.restore import recovering_restore
+from ..vm.restore import lazy_restore, recovering_restore
 from ..vm.snapshot import SingleTierSnapshot, TieredSnapshot
 from ..vm.vmm import VMM
 from .analysis import AnalysisResult, ProfilingAnalyzer
@@ -85,6 +90,10 @@ class InvocationOutcome:
     """Restore failures absorbed (each one served via fallback instead)."""
     degraded: bool = False
     """Served in a degraded mode: fallback restore or tier backpressure."""
+    aborted: bool = False
+    """The tiered restore was abandoned mid-setup because it would have
+    blown the request's deadline; served via the lazy path instead, with
+    the wasted setup time still billed."""
 
     @property
     def total_time_s(self) -> float:
@@ -169,8 +178,22 @@ class TossController:
 
     # -- public API ----------------------------------------------------------
 
-    def invoke(self, input_index: int, seed: int | None = None) -> InvocationOutcome:
-        """Serve one invocation, advancing the lifecycle as needed."""
+    def invoke(
+        self,
+        input_index: int,
+        seed: int | None = None,
+        *,
+        setup_budget_s: float | None = None,
+    ) -> InvocationOutcome:
+        """Serve one invocation, advancing the lifecycle as needed.
+
+        ``setup_budget_s`` bounds the tiered restore's setup time (the
+        deadline-enforcement hook): a tiered restore whose setup would
+        exceed the budget is aborted and the invocation is served on the
+        vanilla lazy path instead, with the aborted setup time billed.
+        Initial and profiling invocations ignore the budget — they *are*
+        the cheap path.
+        """
         if seed is None:
             seed = self._seq
         self._seq += 1
@@ -178,7 +201,37 @@ class TossController:
             return self._initial_invocation(input_index, seed)
         if self.phase is Phase.PROFILING:
             return self._profiling_invocation(input_index, seed)
-        return self._tiered_invocation(input_index, seed)
+        return self._tiered_invocation(input_index, seed, setup_budget_s)
+
+    def invoke_fallback(
+        self, input_index: int, seed: int | None = None
+    ) -> InvocationOutcome:
+        """Serve one invocation on the vanilla lazy path, all-DRAM.
+
+        The overload layer's short-circuit: an open circuit breaker or a
+        DEGRADED platform serves requests from the intact single-tier
+        snapshot without touching the tiered machinery at all — no
+        profiling progress, no re-profiling signal, no keep-alive
+        interaction.  Before the initial snapshot exists this delegates
+        to the normal lifecycle (the initial invocation *is* the
+        DRAM-only path)."""
+        if self.single_snapshot is None:
+            return self.invoke(input_index, seed)
+        if seed is None:
+            seed = self._seq
+        self._seq += 1
+        restore = lazy_restore(self.single_snapshot, memory=self.memory)
+        trace = self.function.trace(input_index, seed, root_seed=self.cfg.root_seed)
+        result = restore.vm.execute(trace)
+        return InvocationOutcome(
+            phase=self.phase,
+            input_index=input_index,
+            seed=seed,
+            setup_time_s=restore.setup_time_s,
+            exec_time_s=result.time_s,
+            slow_fraction=0.0,
+            degraded=True,
+        )
 
     @property
     def slow_fraction(self) -> float:
@@ -311,7 +364,12 @@ class TossController:
             expected_slowdown=round(self.analysis.expected_slowdown, 4),
         )
 
-    def _tiered_invocation(self, input_index: int, seed: int) -> InvocationOutcome:
+    def _tiered_invocation(
+        self,
+        input_index: int,
+        seed: int,
+        setup_budget_s: float | None = None,
+    ) -> InvocationOutcome:
         if self.tiered_snapshot is None:
             raise SnapshotError(
                 f"{self.function.name}: tiered phase entered without a "
@@ -325,6 +383,37 @@ class TossController:
             injector=injector,
             fallback_source=self.single_snapshot,
         )
+        aborted = False
+        if (
+            setup_budget_s is not None
+            and not restore.fallback
+            and restore.setup_time_s > setup_budget_s
+        ):
+            # Deadline enforcement: this restore would blow the request's
+            # budget.  Abort it — the setup time already spent (capped at
+            # the budget) stays billed — and serve from the intact
+            # single-tier file on the lazy path instead.
+            if self.single_snapshot is None:
+                raise DeadlineExceededError(
+                    f"{self.function.name}: tiered restore needs "
+                    f"{restore.setup_time_s:.4f}s against a "
+                    f"{setup_budget_s:.4f}s budget and no single-tier "
+                    "snapshot exists to fall back to"
+                )
+            aborted = True
+            abort_cost_s = min(restore.setup_time_s, setup_budget_s)
+            self._emit(
+                EventKind.DEADLINE_ABORTED,
+                setup_s=round(restore.setup_time_s, 6),
+                budget_s=round(setup_budget_s, 6),
+            )
+            lazy = lazy_restore(self.single_snapshot, memory=self.memory)
+            restore = replace(
+                lazy,
+                fallback=True,
+                setup_time_s=abort_cost_s + lazy.setup_time_s,
+                retries=restore.retries,
+            )
         if restore.retries:
             self._emit(EventKind.RESTORE_RETRIED, retries=restore.retries)
         if restore.backpressure > 1.0:
@@ -392,4 +481,5 @@ class TossController:
             retries=restore.retries,
             failures=failures,
             degraded=degraded,
+            aborted=aborted,
         )

@@ -64,5 +64,15 @@ class SchedulerError(ReproError):
     """The platform scheduler was configured or driven incorrectly."""
 
 
+class DeadlineExceededError(ReproError):
+    """A request's deadline could not be met and no fallback was possible.
+
+    The overload layer normally absorbs deadline pressure — hopeless
+    batch requests are shed at admission and blown tiered restores are
+    aborted onto the lazy path — so this is raised only when a
+    deadline-bounded restore has no single-tier snapshot to fall back
+    to."""
+
+
 class VMError(ReproError):
     """A microVM was driven through an invalid lifecycle transition."""

@@ -6,6 +6,9 @@
   fixed-rate, bursty) for end-to-end platform simulations.
 * :mod:`~repro.platform.server` — a registry-based platform serving
   request streams through any of the systems under evaluation.
+* :mod:`~repro.platform.overload` — the overload-resilience layer:
+  bounded admission, deadlines, circuit breakers and the platform
+  degradation ladder.
 """
 
 from .scheduler import ConcurrencyResult, Scheduler
@@ -14,6 +17,17 @@ from .server import FunctionDeployment, ServerlessPlatform, RequestLogEntry
 from .keepalive import CacheEntry, KeepAliveCache
 from .capacity import HostCapacity, ResidentVM, packing_density
 from .prewarm import ArrivalPredictor, PrewarmPolicy
+from .overload import (
+    BreakerState,
+    CircuitBreaker,
+    DegradationLadder,
+    HealthState,
+    OverloadConfig,
+    OverloadPolicy,
+    RequestClass,
+    RequestShed,
+    ShedReason,
+)
 
 __all__ = [
     "ConcurrencyResult",
@@ -31,4 +45,13 @@ __all__ = [
     "packing_density",
     "ArrivalPredictor",
     "PrewarmPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "HealthState",
+    "OverloadConfig",
+    "OverloadPolicy",
+    "RequestClass",
+    "RequestShed",
+    "ShedReason",
 ]

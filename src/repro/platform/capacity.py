@@ -60,6 +60,28 @@ class HostCapacity:
         """Number of resident VMs."""
         return len(self._resident)
 
+    @property
+    def free_fast_mb(self) -> float:
+        """DRAM budget still available."""
+        return max(0.0, self.fast_mb - self.used_fast_mb)
+
+    @property
+    def fast_pressure(self) -> float:
+        """Fast-tier utilisation in [0, 1] — the ladder's capacity signal."""
+        return self.used_fast_mb / self.fast_mb
+
+    @property
+    def slow_pressure(self) -> float:
+        """Slow-tier utilisation (0 with no slow budget)."""
+        if self.slow_mb <= 0:
+            return 0.0
+        return self.used_slow_mb / self.slow_mb
+
+    @property
+    def pressure(self) -> float:
+        """Worst-tier utilisation, the host's headline pressure signal."""
+        return max(self.fast_pressure, self.slow_pressure)
+
     def fits(self, vm: ResidentVM) -> bool:
         """Whether the VM fits in the remaining budget."""
         return (

@@ -115,3 +115,24 @@ class KeepAliveCache:
         """Drop a warm VM (e.g. after a re-profiling cycle changes its
         tiered snapshot)."""
         self._entries.pop(name, None)
+
+    def shrink_to(self, target_mb: float) -> list[str]:
+        """Pressure eviction: evict lowest-priority warm VMs until the
+        cache's fast-tier footprint is at most ``target_mb``.
+
+        The overload ladder calls this when the platform leaves HEALTHY —
+        warm VMs are the one memory consumer the platform can reclaim
+        instantly.  Evictions age the Greedy-Dual clock exactly like
+        admission-driven evictions, so later admissions see a consistent
+        priority baseline.  Returns the evicted function names.
+        """
+        if target_mb < 0:
+            raise SchedulerError("shrink target must be non-negative")
+        evicted: list[str] = []
+        while self._entries and self.used_mb > target_mb:
+            victim = min(self._entries.values(), key=lambda e: e.priority)
+            self._clock = max(self._clock, victim.priority)
+            del self._entries[victim.name]
+            self.evictions += 1
+            evicted.append(victim.name)
+        return evicted

@@ -66,6 +66,11 @@ class PrewarmPolicy:
     predictors: dict[str, ArrivalPredictor] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    enabled: bool = True
+    """Pressure switch: the overload ladder suspends pre-warming (every
+    speculative restore is pinned memory the platform cannot spare) once
+    the platform leaves HEALTHY.  Predictors keep observing arrivals so
+    prediction quality survives the suspension."""
 
     def observe(self, name: str, arrival_s: float) -> None:
         """Feed one arrival into the function's predictor."""
@@ -79,6 +84,11 @@ class PrewarmPolicy:
         Call *before* :meth:`observe` for the same arrival (the platform
         predicts from past arrivals only).
         """
+        if not self.enabled:
+            # Suspended under pressure: no speculative restores happen,
+            # so nothing can be hidden.
+            self.misses += 1
+            return False
         predictor = self.predictors.get(name)
         predicted = predictor.predict_next() if predictor else None
         if predicted is None:

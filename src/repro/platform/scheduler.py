@@ -95,6 +95,37 @@ class Scheduler:
             inflation=inflation,
         )
 
+    def run_waves(
+        self,
+        system: ServerlessSystem,
+        input_index: int,
+        total: int,
+        *,
+        seed_base: int = 0,
+    ) -> list[ConcurrencyResult]:
+        """Serve an oversubscribed burst as consecutive core-sized waves.
+
+        Bounded admission at the contention layer: where
+        :meth:`run_concurrent` rejects more parallelism than there are
+        cores, a real platform queues the excess.  This chunks the burst
+        into deterministic waves of at most ``n_cores`` invocations, each
+        solved under its own contention fixed point — the degenerate tail
+        wave runs less contended, exactly as a draining queue would.
+        """
+        if total < 1:
+            raise SchedulerError(f"burst of {total} invocations is empty")
+        waves: list[ConcurrencyResult] = []
+        offset = 0
+        while offset < total:
+            size = min(self.n_cores, total - offset)
+            waves.append(
+                self.run_concurrent(
+                    system, input_index, size, seed_base=seed_base + offset
+                )
+            )
+            offset += size
+        return waves
+
     def run_mixed(
         self,
         batch: list[tuple[ServerlessSystem, int]],

@@ -6,6 +6,16 @@ the function's TOSS controller (walking it through initial execution,
 profiling, and tiered serving), cores are a finite resource, and every
 request is billed through the pricing model.
 
+Under load the platform is guarded by the overload-resilience layer
+(:mod:`repro.platform.overload`): bounded admission with priority
+classes, per-request deadlines, per-function circuit breakers, and a
+platform-wide degradation ladder.  Host memory admission
+(:class:`~repro.platform.capacity.HostCapacity`) is consulted per
+request when a capacity budget is attached.  Both are opt-in: a platform
+constructed without them — or with the all-permissive
+:class:`~repro.platform.overload.OverloadConfig` — serves byte-identically
+to the unguarded platform.
+
 This is the integration surface — the per-figure experiments drive the
 lower layers directly.
 """
@@ -23,10 +33,24 @@ from ..functions.base import FunctionModel
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
 from ..pricing.billing import TieredBill, bill_invocation
 from ..vm.microvm import MicroVM
+from .capacity import HostCapacity, ResidentVM
 from .keepalive import KeepAliveCache
+from .overload import (
+    BreakerState,
+    HealthState,
+    OverloadConfig,
+    OverloadPolicy,
+    RequestClass,
+    RequestShed,
+    ShedReason,
+)
 from .prewarm import PrewarmPolicy
 
 __all__ = ["FunctionDeployment", "RequestLogEntry", "ServerlessPlatform"]
+
+_ZERO_BILL = TieredBill(
+    dram_cost=0.0, tiered_cost=0.0, slow_fraction=0.0, slowdown=1.0
+)
 
 
 @dataclass
@@ -59,6 +83,16 @@ class RequestLogEntry:
     """Served in degraded mode (fallback restore or tier backpressure)."""
     failed: bool = False
     """The request could not be served at all (unrecoverable fault)."""
+    request_class: str = "latency"
+    """Priority class: ``"latency"`` (never shed) or ``"batch"``."""
+    deadline_s: float | None = None
+    """Absolute deadline, when the overload layer enforces SLOs."""
+    shed: bool = False
+    """Rejected at admission (bounded queue, capacity, deadline, breaker)."""
+    shed_reason: str = ""
+    """The :class:`~repro.platform.overload.ShedReason` value, when shed."""
+    aborted: bool = False
+    """A tiered restore was aborted mid-setup to protect the deadline."""
 
     @property
     def queue_delay_s(self) -> float:
@@ -69,6 +103,13 @@ class RequestLogEntry:
     def latency_s(self) -> float:
         """Arrival-to-finish latency."""
         return self.finish_s - self.arrival_s
+
+    @property
+    def deadline_met(self) -> bool:
+        """Finished by the deadline (vacuously true with no deadline)."""
+        if self.deadline_s is None:
+            return True
+        return not self.shed and not self.failed and self.finish_s <= self.deadline_s
 
 
 class ServerlessPlatform:
@@ -84,6 +125,8 @@ class ServerlessPlatform:
         prewarm: "PrewarmPolicy | None" = None,
         faults: "faults_mod.FaultInjector | None" = None,
         telemetry: TelemetryLog | None = None,
+        overload: "OverloadPolicy | OverloadConfig | None" = None,
+        capacity: "HostCapacity | None" = None,
     ) -> None:
         if n_cores < 1:
             raise SchedulerError("need at least one core")
@@ -96,6 +139,11 @@ class ServerlessPlatform:
         self.keepalive = keepalive
         self.prewarm = prewarm
         self.telemetry = telemetry
+        if isinstance(overload, OverloadConfig):
+            overload = OverloadPolicy(overload)
+        self.overload = overload
+        self.capacity = capacity
+        self._capacity_leases: list[tuple[float, str]] = []
         self.deployments: dict[str, FunctionDeployment] = {}
         self.log: list[RequestLogEntry] = []
 
@@ -116,13 +164,64 @@ class ServerlessPlatform:
             )
         return self.deployments[function.name]
 
+    # -- request validation ------------------------------------------------------
+
+    def _validated_requests(
+        self, requests: list[tuple]
+    ) -> list[tuple[float, str, int, RequestClass]]:
+        """Validate and normalise request tuples before any serving starts.
+
+        Accepts ``(arrival_s, function_name, input_index)`` with an
+        optional fourth priority-class element (a
+        :class:`~repro.platform.overload.RequestClass` or its string
+        value, default latency).  A malformed tuple fails the whole batch
+        up front with a :class:`~repro.errors.SchedulerError` naming the
+        offending request — nothing is partially served.
+        """
+        normalized: list[tuple[float, str, int, RequestClass]] = []
+        for req in requests:
+            if len(req) == 3:
+                arrival, name, input_index = req
+                req_class = RequestClass.LATENCY
+            elif len(req) == 4:
+                arrival, name, input_index, req_class = req
+                if not isinstance(req_class, RequestClass):
+                    try:
+                        req_class = RequestClass(req_class)
+                    except ValueError:
+                        raise SchedulerError(
+                            f"request {tuple(req)!r}: unknown request class "
+                            f"{req_class!r} (expected 'latency' or 'batch')"
+                        ) from None
+            else:
+                raise SchedulerError(
+                    f"malformed request tuple {tuple(req)!r}: expected "
+                    "(arrival_s, function_name, input_index[, class])"
+                )
+            if name not in self.deployments:
+                raise SchedulerError(f"function {name!r} not deployed")
+            if arrival < 0:
+                raise SchedulerError(
+                    f"request {(arrival, name, input_index)!r}: arrival time "
+                    "must be non-negative"
+                )
+            n_inputs = self.deployments[name].function.n_inputs
+            if not 0 <= input_index < n_inputs:
+                raise SchedulerError(
+                    f"request {(arrival, name, input_index)!r}: input_index "
+                    f"outside 0..{n_inputs - 1}"
+                )
+            normalized.append((float(arrival), name, int(input_index), req_class))
+        normalized.sort(key=lambda r: (r[0], r[1], r[2], r[3].value))
+        return normalized
+
     # -- serving ----------------------------------------------------------------
 
     def serve(
         self,
-        requests: list[tuple[float, str, int]],
+        requests: list[tuple],
     ) -> list[RequestLogEntry]:
-        """Serve ``(arrival_s, function_name, input_index)`` requests.
+        """Serve ``(arrival_s, function_name, input_index[, class])`` requests.
 
         Requests queue for cores FIFO per arrival order, ties broken by
         ``(function_name, input_index)`` so equal-arrival batches replay
@@ -130,34 +229,189 @@ class ServerlessPlatform:
         served to completion on one core (vCPU pinning, no preemption).
         Injected faults that even the controller's fallback chain cannot
         absorb fail only the one request (logged with ``failed=True``) —
-        the platform itself keeps serving.  Returns the log entries
-        appended for this batch.
+        the platform itself keeps serving.
+
+        With an overload policy attached, every request first passes
+        admission (bounded queue depth/delay, degradation-ladder state,
+        deadline feasibility, circuit breaker, host capacity); rejected
+        requests are *logged* with ``shed=True`` — never silently queued
+        forever — and batch-class traffic is shed before latency-class
+        traffic is ever degraded.  Returns the log entries appended for
+        this batch.
         """
-        for _, name, _ in requests:
-            if name not in self.deployments:
-                raise SchedulerError(f"function {name!r} not deployed")
+        normalized = self._validated_requests(requests)
         cores = [0.0] * self.n_cores
         heapq.heapify(cores)
         batch: list[RequestLogEntry] = []
-        for arrival, name, input_index in sorted(requests):
+        ov = self.overload
+        track = ov is not None or self.capacity is not None
+        pending_starts: list[float] = []
+        inflight: dict[str, list[float]] = {}
+        for arrival, name, input_index, req_class in normalized:
             dep = self.deployments[name]
+            force_fallback = False
+            setup_budget_s: float | None = None
+            deadline_s: float | None = None
+            shed_reason: ShedReason | None = None
+            queue_delay_s = max(0.0, cores[0] - arrival)
+            if track:
+                while pending_starts and pending_starts[0] <= arrival:
+                    heapq.heappop(pending_starts)
+                fn_q = inflight.setdefault(name, [])
+                while fn_q and fn_q[0] <= arrival:
+                    heapq.heappop(fn_q)
+                self._release_capacity(arrival)
+            if ov is not None:
+                pressure = (
+                    self.capacity.fast_pressure if self.capacity is not None else 0.0
+                )
+                for at_s, old, new in ov.ladder.update(
+                    arrival,
+                    queue_delay_s=queue_delay_s,
+                    capacity_pressure=pressure,
+                ):
+                    self._emit_platform_event(
+                        EventKind.HEALTH_TRANSITION,
+                        "platform",
+                        len(self.log) + len(batch),
+                        at_s=round(at_s, 6),
+                        from_state=old.name,
+                        to_state=new.name,
+                        queue_delay_ewma_s=round(ov.ladder.delay_ewma_s, 6),
+                        fault_rate=round(ov.ladder.fault_rate, 4),
+                    )
+                self._apply_ladder_effects(ov)
+                shed_reason = ov.admission_limit_hit(
+                    queue_depth=len(pending_starts),
+                    queue_delay_s=queue_delay_s,
+                    function_depth=len(fn_q),
+                )
+                if shed_reason is not None and req_class is RequestClass.LATENCY:
+                    # Latency traffic is never shed by an admission limit:
+                    # it is forced onto the cheap all-DRAM fallback path so
+                    # the queue drains instead of growing.
+                    force_fallback = True
+                    shed_reason = None
+                if (
+                    shed_reason is None
+                    and ov.ladder.shed_batch
+                    and req_class is RequestClass.BATCH
+                ):
+                    shed_reason = ShedReason.SHEDDING
+                deadline_s = ov.deadline_for(
+                    arrival,
+                    config.VM_STATE_LOAD_S + self._baseline_s(dep, input_index),
+                )
+                if shed_reason is None and deadline_s is not None:
+                    earliest_finish = (
+                        max(arrival, cores[0])
+                        + config.VM_STATE_LOAD_S
+                        + self._baseline_s(dep, input_index)
+                    )
+                    if earliest_finish > deadline_s:
+                        # Hopeless before it starts: the queue alone blows
+                        # the deadline.  Batch is shed; latency is served
+                        # on the cheapest path we have.
+                        if req_class is RequestClass.BATCH:
+                            shed_reason = ShedReason.DEADLINE
+                        else:
+                            force_fallback = True
+                if shed_reason is None:
+                    breaker = ov.breaker_for(name)
+                    if breaker is not None:
+                        for old, new, why in breaker.poll(arrival):
+                            self._emit_breaker_transition(name, old, new, why, arrival)
+                        if breaker.state is BreakerState.OPEN:
+                            if (
+                                ov.config.breaker_fail_fast
+                                and req_class is RequestClass.BATCH
+                            ):
+                                shed_reason = ShedReason.BREAKER_OPEN
+                            else:
+                                force_fallback = True
+                if ov.ladder.force_fallback:
+                    force_fallback = True
+                if shed_reason is not None:
+                    self._shed_request(
+                        batch,
+                        name=name,
+                        input_index=input_index,
+                        arrival=arrival,
+                        req_class=req_class,
+                        reason=shed_reason,
+                        deadline_s=deadline_s,
+                        queue_delay_s=queue_delay_s,
+                    )
+                    continue
+                if deadline_s is not None and not force_fallback:
+                    setup_budget_s = max(
+                        0.0,
+                        deadline_s
+                        - max(arrival, cores[0])
+                        - self._baseline_s(dep, input_index),
+                    )
+            lease_name: str | None = None
+            if self.capacity is not None:
+                vm = self._resident_footprint(dep, len(self.log) + len(batch))
+                if not self.capacity.admit(vm):
+                    # Host memory admission: a full host rejects the VM —
+                    # a shed decision, not an error.
+                    self._shed_request(
+                        batch,
+                        name=name,
+                        input_index=input_index,
+                        arrival=arrival,
+                        req_class=req_class,
+                        reason=ShedReason.CAPACITY,
+                        deadline_s=deadline_s,
+                        queue_delay_s=queue_delay_s,
+                    )
+                    continue
+                lease_name = vm.name
             free_at = heapq.heappop(cores)
             start = max(arrival, free_at)
             if self.faults is not None:
                 # Time-windowed faults (outages, backpressure) key off the
                 # moment the restore actually begins.
                 self.faults.advance_to(start)
+            attempted_tiered = (
+                not force_fallback and dep.controller.phase is Phase.TIERED
+            )
             try:
-                outcome = self._invoke(dep, input_index)
+                if force_fallback or setup_budget_s is not None:
+                    outcome = self._invoke(
+                        dep,
+                        input_index,
+                        setup_budget_s=setup_budget_s,
+                        force_fallback=force_fallback,
+                    )
+                else:
+                    outcome = self._invoke(dep, input_index)
             except FaultInjected as exc:
-                heapq.heappush(cores, start)
+                # The failed attempt consumed no simulated time: the core
+                # is returned at its true free time, and the entry records
+                # how long the request actually waited for it.
+                heapq.heappush(cores, free_at)
+                if lease_name is not None:
+                    self.capacity.release(lease_name)
                 self._emit_platform_event(
                     EventKind.FALLBACK_RESTORE,
                     name,
                     dep.invocations,
                     error=type(exc).__name__,
                     unserved=True,
+                    free_at_s=round(free_at, 6),
+                    queue_delay_s=round(start - arrival, 6),
                 )
+                if ov is not None:
+                    ov.ladder.note_outcome(True)
+                    if attempted_tiered:
+                        breaker = ov.breaker_for(name)
+                        if breaker is not None:
+                            for old, new, why in breaker.record_outcome(False, start):
+                                self._emit_breaker_transition(
+                                    name, old, new, why, start
+                                )
                 batch.append(
                     RequestLogEntry(
                         function=name,
@@ -168,14 +422,11 @@ class ServerlessPlatform:
                         phase=dep.controller.phase,
                         setup_time_s=0.0,
                         exec_time_s=0.0,
-                        bill=TieredBill(
-                            dram_cost=0.0,
-                            tiered_cost=0.0,
-                            slow_fraction=0.0,
-                            slowdown=1.0,
-                        ),
+                        bill=_ZERO_BILL,
                         failures=1,
                         failed=True,
+                        request_class=req_class.value,
+                        deadline_s=deadline_s,
                     )
                 )
                 continue
@@ -196,6 +447,11 @@ class ServerlessPlatform:
                     outcome = replace(outcome, setup_time_s=0.0)
             finish = start + outcome.total_time_s
             heapq.heappush(cores, finish)
+            if track:
+                heapq.heappush(pending_starts, start)
+                heapq.heappush(inflight[name], finish)
+            if lease_name is not None:
+                heapq.heappush(self._capacity_leases, (finish, lease_name))
             bill = bill_invocation(
                 guest_mb=dep.function.guest_mb,
                 duration_s=outcome.total_time_s,
@@ -225,10 +481,127 @@ class ServerlessPlatform:
                     retries=outcome.retries,
                     failures=outcome.failures,
                     degraded=outcome.degraded,
+                    request_class=req_class.value,
+                    deadline_s=deadline_s,
+                    aborted=outcome.aborted,
                 )
             )
+            if ov is not None:
+                failed_signal = outcome.failures > 0 or outcome.aborted
+                ov.ladder.note_outcome(failed_signal)
+                if attempted_tiered:
+                    breaker = ov.breaker_for(name)
+                    if breaker is not None:
+                        for old, new, why in breaker.record_outcome(
+                            not failed_signal, finish
+                        ):
+                            self._emit_breaker_transition(name, old, new, why, finish)
         self.log.extend(batch)
         return batch
+
+    # -- overload helpers --------------------------------------------------------
+
+    def _baseline_s(self, dep: FunctionDeployment, input_index: int) -> float:
+        """The input's warm all-DRAM execution time (deadline basis)."""
+        return dep.function.input_spec(input_index).t_dram_s
+
+    def _resident_footprint(self, dep: FunctionDeployment, seq: int) -> ResidentVM:
+        """Memory this request's VM pins on the host, by current phase."""
+        guest = float(dep.function.guest_mb)
+        ctl = dep.controller
+        sf = ctl.slow_fraction if ctl.phase is Phase.TIERED else 0.0
+        fast = max(guest * (1.0 - sf), 1e-3)
+        return ResidentVM(f"{dep.function.name}@{seq}", fast, guest * sf)
+
+    def _release_capacity(self, now_s: float) -> None:
+        """Release host capacity leased by VMs that finished by ``now_s``."""
+        if self.capacity is None:
+            return
+        while self._capacity_leases and self._capacity_leases[0][0] <= now_s:
+            _, lease_name = heapq.heappop(self._capacity_leases)
+            self.capacity.release(lease_name)
+
+    def _apply_ladder_effects(self, ov: OverloadPolicy) -> None:
+        """Enforce the current health state on prewarm and keep-alive."""
+        state = ov.ladder.state
+        if self.prewarm is not None:
+            self.prewarm.enabled = state < HealthState.PRESSURED
+        if self.keepalive is not None:
+            if state >= HealthState.DEGRADED:
+                self.keepalive.shrink_to(0.0)
+            elif state is HealthState.PRESSURED:
+                self.keepalive.shrink_to(
+                    self.keepalive.capacity_mb
+                    * ov.config.keepalive_pressure_fraction
+                )
+
+    def _shed_request(
+        self,
+        batch: list[RequestLogEntry],
+        *,
+        name: str,
+        input_index: int,
+        arrival: float,
+        req_class: RequestClass,
+        reason: ShedReason,
+        deadline_s: float | None,
+        queue_delay_s: float,
+    ) -> None:
+        """Record one typed shed decision (log entry + policy + telemetry)."""
+        dep = self.deployments[name]
+        if self.overload is not None:
+            self.overload.record_shed(
+                RequestShed(
+                    function=name,
+                    input_index=input_index,
+                    arrival_s=arrival,
+                    request_class=req_class,
+                    reason=reason,
+                )
+            )
+        self._emit_platform_event(
+            EventKind.REQUEST_SHED,
+            name,
+            dep.invocations,
+            reason=reason.value,
+            request_class=req_class.value,
+            queue_delay_s=round(queue_delay_s, 6),
+        )
+        batch.append(
+            RequestLogEntry(
+                function=name,
+                input_index=input_index,
+                arrival_s=arrival,
+                start_s=arrival,
+                finish_s=arrival,
+                phase=dep.controller.phase,
+                setup_time_s=0.0,
+                exec_time_s=0.0,
+                bill=_ZERO_BILL,
+                request_class=req_class.value,
+                deadline_s=deadline_s,
+                shed=True,
+                shed_reason=reason.value,
+            )
+        )
+
+    def _emit_breaker_transition(
+        self,
+        name: str,
+        old: BreakerState,
+        new: BreakerState,
+        why: str,
+        at_s: float,
+    ) -> None:
+        self._emit_platform_event(
+            EventKind.BREAKER_TRANSITION,
+            name,
+            self.deployments[name].invocations,
+            from_state=old.value,
+            to_state=new.value,
+            reason=why,
+            at_s=round(at_s, 6),
+        )
 
     def _emit_platform_event(
         self, kind: EventKind, function: str, invocation: int, **detail
@@ -245,11 +618,25 @@ class ServerlessPlatform:
 
     # -- keep-alive integration ----------------------------------------------------
 
-    def _invoke(self, dep: FunctionDeployment, input_index: int):
+    def _invoke(
+        self,
+        dep: FunctionDeployment,
+        input_index: int,
+        *,
+        setup_budget_s: float | None = None,
+        force_fallback: bool = False,
+    ):
         """Serve one invocation, warm-starting from the keep-alive cache
         when possible (Section VI-A: "TOSS can keep the VM alive on both
-        tiers until evicted")."""
+        tiers until evicted").
+
+        ``force_fallback`` short-circuits straight to the controller's
+        all-DRAM lazy path (open breaker / DEGRADED platform);
+        ``setup_budget_s`` bounds the tiered restore's setup time for
+        deadline enforcement."""
         ctl = dep.controller
+        if force_fallback:
+            return ctl.invoke_fallback(input_index)
         if (
             self.keepalive is not None
             and ctl.phase is Phase.TIERED
@@ -285,7 +672,7 @@ class ServerlessPlatform:
                 slow_fraction=snapshot.slow_fraction,
             )
         else:
-            outcome = ctl.invoke(input_index)
+            outcome = ctl.invoke(input_index, setup_budget_s=setup_budget_s)
         if (
             self.keepalive is not None
             and ctl.phase is Phase.TIERED
@@ -321,16 +708,57 @@ class ServerlessPlatform:
     # -- reliability metrics ----------------------------------------------------
 
     def availability(self) -> float:
-        """Fraction of requests actually served (1.0 with no log).
+        """Fraction of admitted requests actually served (1.0 with no log).
 
         A request counts as served even when it needed retries or a
         fallback restore — only ``failed`` entries (faults the whole
-        recovery chain could not absorb) reduce availability.
+        recovery chain could not absorb) reduce availability.  Shed
+        requests are deliberate admission decisions, tracked separately
+        by :meth:`shed_fraction`, and do not count against availability.
         """
-        if not self.log:
+        admitted = [e for e in self.log if not e.shed]
+        if not admitted:
             return 1.0
-        served = sum(1 for e in self.log if not e.failed)
-        return served / len(self.log)
+        served = sum(1 for e in admitted if not e.failed)
+        return served / len(admitted)
+
+    def total_shed(self) -> int:
+        """Requests rejected at admission across the log."""
+        return sum(1 for e in self.log if e.shed)
+
+    def shed_fraction(self) -> float:
+        """Share of all submitted requests that were shed."""
+        if not self.log:
+            return 0.0
+        return self.total_shed() / len(self.log)
+
+    def batch_shed_fraction(self) -> float:
+        """Share of batch-class requests that were shed (0 with none)."""
+        batch = [e for e in self.log if e.request_class == RequestClass.BATCH.value]
+        if not batch:
+            return 0.0
+        return sum(1 for e in batch if e.shed) / len(batch)
+
+    def deadline_misses(self) -> list[RequestLogEntry]:
+        """Deadline-carrying requests that finished late on the full
+        tiered path (fallback-served requests already took the escape
+        hatch and are not misses)."""
+        return [
+            e
+            for e in self.log
+            if e.deadline_s is not None
+            and not e.shed
+            and not e.failed
+            and not e.degraded
+            and e.finish_s > e.deadline_s
+        ]
+
+    @property
+    def health_state(self) -> "HealthState | None":
+        """Current degradation-ladder state (None without a policy)."""
+        if self.overload is None:
+            return None
+        return self.overload.ladder.state
 
     def degraded_time_s(self) -> float:
         """Busy time (setup + execution) spent serving in degraded mode."""
