@@ -1,0 +1,42 @@
+"""Perf smoke: the event engine must stay fast at fleet-scale fan-out.
+
+Pushes the event-driven Figure 9 path to C=1000 on one function — three
+orders of magnitude past the paper's 20-way ladder — and fails if the
+run blows a generous wall-clock budget.  Catches accidental
+quadratic-in-concurrency regressions in the kernel or the batch replay
+without asserting anything about absolute machine speed.
+"""
+
+import time
+
+from repro.experiments import fig9_scalability
+
+WALL_BUDGET_S = 90.0
+"""Roomy on a cold CI runner; the run takes ~10 s on a dev box."""
+
+
+def test_fig9_event_engine_at_c1000(benchmark):
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        fig9_scalability.run,
+        kwargs=dict(
+            function_names=["pyaes"],
+            concurrency_levels=(1, 1000),
+            n_cores=1000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+    assert elapsed < WALL_BUDGET_S, f"C=1000 sweep took {elapsed:.1f}s"
+
+    # The engine still produced physics, not just timings: contention
+    # grows with fan-out and the telemetry names a saturated resource.
+    for system in ("dram", "toss", "reap-best", "reap-worst"):
+        assert (
+            result.slowdown[(system, "pyaes", 1000)]
+            >= result.slowdown[(system, "pyaes", 1)]
+        )
+    summary = result.utilization[("toss", "pyaes", 1000)]
+    assert set(summary) == {"fast", "slow_read", "slow_write", "ssd", "uffd"}
+    assert result.saturated_resource_at("toss", "pyaes", 1000) in summary

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from .. import config
 from ..functions.base import FunctionModel
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..sim.timing import InvocationTiming
 from ..vm.microvm import ExecutionResult
 from ..vm.vmm import VMM
 
@@ -30,9 +31,14 @@ class SystemOutcome:
         return self.execution.time_s
 
     @property
+    def timing(self) -> InvocationTiming:
+        """The setup/execution split as the kernel's shared timing record."""
+        return InvocationTiming(setup_s=self.setup_time_s, exec_s=self.exec_time_s)
+
+    @property
     def total_time_s(self) -> float:
         """Setup plus execution (the Figure 8 quantity)."""
-        return self.setup_time_s + self.exec_time_s
+        return self.timing.total_s
 
 
 class ServerlessSystem(abc.ABC):

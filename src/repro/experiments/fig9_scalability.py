@@ -14,7 +14,7 @@ DRAM because its intense working set stayed in DRAM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -42,6 +42,20 @@ class Fig9Result:
     slowdown: dict[tuple[str, str, int], float]
     table: Table
     figure: SeriesSet
+    utilization: dict[tuple[str, str, int], dict[str, dict[str, float]]] = field(
+        default_factory=dict
+    )
+    """Per-(system, function, concurrency) resource-load summaries from the
+    event engine's batch replay: ``{resource: {mean_rho, peak_rho,
+    peak_inflation}}``.  Telemetry only — the slowdown numbers above are
+    the analytic equilibrium and do not depend on it."""
+
+    def saturated_resource_at(
+        self, system: str, name: str, concurrency: int
+    ) -> str:
+        """The resource carrying the highest peak load for one cell."""
+        summary = self.utilization[(system, name, concurrency)]
+        return max(summary, key=lambda r: summary[r]["peak_rho"])
 
     def at(self, system: str, concurrency: int) -> dict[str, float]:
         """Per-function slowdowns of one system at one concurrency."""
@@ -72,10 +86,16 @@ def run(
     concurrency_levels: tuple[int, ...] = CONCURRENCY_LEVELS,
     exec_input: int = 3,
     seed_base: int = 500,
+    n_cores: int | None = None,
 ) -> Fig9Result:
-    """Measure the concurrency scaling of TOSS and REAP."""
+    """Measure the concurrency scaling of TOSS and REAP.
+
+    ``n_cores`` widens the machine beyond the paper's 20 cores (the
+    scheduler rejects concurrency above the core count); the perf-smoke
+    CI job uses it to push the event engine to C=1000.
+    """
     names = function_names or suite_names()
-    sched = Scheduler()
+    sched = Scheduler(n_cores=n_cores or max(20, max(concurrency_levels)))
     table = Table(
         "Figure 9: execution slowdown under concurrency "
         "(normalized to warm DRAM)",
@@ -88,6 +108,7 @@ def run(
         y_label="slowdown vs warm DRAM",
     )
     slowdown: dict[tuple[str, str, int], float] = {}
+    utilization: dict[tuple[str, str, int], dict[str, dict[str, float]]] = {}
     systems = {
         "dram": lambda name: dram_cached(name),
         "toss": lambda name: toss_cached(name, ALL_INPUTS),
@@ -105,6 +126,7 @@ def run(
                 )
                 sd = result.mean_exec_s / warm
                 slowdown[(sys_name, name, c)] = float(sd)
+                utilization[(sys_name, name, c)] = result.utilization
                 row.append(float(sd))
             table.add_row(*row)
     for sys_name in systems:
@@ -120,4 +142,6 @@ def run(
                 for c in concurrency_levels
             ],
         )
-    return Fig9Result(slowdown=slowdown, table=table, figure=figure)
+    return Fig9Result(
+        slowdown=slowdown, table=table, figure=figure, utilization=utilization
+    )

@@ -16,6 +16,14 @@ iterates the coupled system to a damped fixed point.
 The fast tier is tracked by byte bandwidth; at 100 GB/s it has ample
 headroom at the paper's 20-way peak load, which is exactly why the DRAM
 baseline scales flat in Figure 9 while PMEM-heavy placements do not.
+
+Since the event kernel (:mod:`repro.sim`) landed, this module plays two
+roles: the damped fixed point remains the *equilibrium law* — the answer
+for a closed batch launched at one instant — while
+:attr:`ContentionModel.capacities`/:meth:`ContentionModel.resource_pool`
+hand the same hardware description to the discrete-event engine, where
+staggered restores contend through the schedule itself
+(:class:`repro.sim.contention.EventScheduler`).
 """
 
 from __future__ import annotations
@@ -124,6 +132,28 @@ class ContentionModel:
             "ssd": ssd.random_read_iops,
             "uffd": uffd_capacity_ops,
         }
+
+    @property
+    def capacities(self) -> dict[str, float]:
+        """Per-resource service capacities (ops/s; bytes/s for ``fast``).
+
+        The event kernel (:mod:`repro.sim`) builds its shared
+        :class:`~repro.sim.resources.TokenBucket` capacities from this —
+        one hardware description, two execution modes.
+        """
+        return dict(self._capacity)
+
+    def resource_pool(self, loop):
+        """Materialise the capacities as event-loop token buckets.
+
+        Concurrent restore processes acquire per-chunk operations from
+        the returned :class:`~repro.sim.contention.ResourcePool`, so
+        queueing on the SSD's IOPS or the slow tier's read throughput
+        emerges from the event schedule instead of this solver.
+        """
+        from ..sim.contention import ResourcePool
+
+        return ResourcePool(self._capacity, loop=loop)
 
     @staticmethod
     def _inflation(rho: float) -> float:

@@ -28,6 +28,7 @@ from ..core.analysis import ProfilingAnalyzer
 from ..errors import AnalysisError
 from ..profiling.unified import UnifiedAccessPattern
 from ..regions import Region
+from ..sim.timing import normalized_slowdown
 from ..trace.events import InvocationTrace
 from .cost import multi_tier_cost
 from .system import TierLadder
@@ -106,7 +107,7 @@ class MultiTierAnalyzer:
 
         def evaluate(pl: np.ndarray) -> tuple[float, float]:
             vm = MultiTierVM(n_pages, self.ladder, pl)
-            sd = max(1.0, vm.execute_time_s(profile_trace) / base_time)
+            sd = normalized_slowdown(vm.execute_time_s(profile_trace), base_time)
             return sd, multi_tier_cost(sd, vm.tier_fractions(), self.ladder)
 
         assignment = [0] * len(bins)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import VMError
+from ..sim.timing import normalized_slowdown
 from ..trace.events import InvocationTrace
 from .system import TierLadder
 
@@ -71,4 +72,4 @@ class MultiTierVM:
         base = MultiTierVM(self.n_pages, self.ladder).execute_time_s(trace)
         if base <= 0:
             raise VMError("trace has zero duration")
-        return max(1.0, self.execute_time_s(trace) / base)
+        return normalized_slowdown(self.execute_time_s(trace), base)

@@ -4,18 +4,28 @@ The evaluation platform has 20 physical cores with hyperthreading off
 (Section VI-E), so up to 20 invocations run truly in parallel; what they
 share is memory bandwidth, SSD IOPS and the VMM's fault handlers.  The
 scheduler runs ``C`` cold invocations of one system, collects their
-resource demand vectors, and solves the contention fixed point.
+resource demand vectors, and hands them to the event kernel's
+:class:`~repro.sim.contention.EventScheduler`.
+
+This class is now a thin compatibility shim: the batch semantics (launch
+``C`` invocations at one instant, measure at the contention equilibrium)
+live in :meth:`EventScheduler.run_synchronized`, which solves the same
+fixed point the scheduler used to call directly — results are
+byte-identical — and additionally replays the batch on the event loop to
+record per-resource utilization.  Callers that want genuinely staggered
+arrivals should use :attr:`Scheduler.engine` (``run_timeline``) directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import SchedulerError
 from ..memsim.bandwidth import ContentionModel
 from ..memsim.storage import OPTANE_SSD_SPEC, StorageSpec
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
 from ..baselines.base import ServerlessSystem
+from ..sim.contention import EventScheduler, TimelineJob, TimelineResult
 
 __all__ = ["ConcurrencyResult", "Scheduler"]
 
@@ -29,6 +39,7 @@ class ConcurrencyResult:
     exec_times_s: tuple[float, ...]
     setup_times_s: tuple[float, ...]
     inflation: dict[str, float]
+    utilization: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def mean_exec_s(self) -> float:
@@ -47,7 +58,14 @@ class ConcurrencyResult:
 
 
 class Scheduler:
-    """Runs concurrent invocation batches under contention."""
+    """Runs concurrent invocation batches under contention.
+
+    A compatibility facade over the event kernel: the public API
+    (``run_concurrent``/``run_waves``/``run_mixed``) is unchanged, and the
+    numbers it returns are byte-identical to the pre-kernel analytic
+    scheduler, because the kernel's synchronized-batch mode *is* the
+    analytic solve.
+    """
 
     def __init__(
         self,
@@ -61,6 +79,7 @@ class Scheduler:
         self.n_cores = n_cores
         self.memory = memory
         self.contention = ContentionModel(memory, ssd)
+        self.engine = EventScheduler(self.contention)
 
     def run_concurrent(
         self,
@@ -85,14 +104,14 @@ class Scheduler:
             system.invoke(input_index, seed_base + i) for i in range(concurrency)
         ]
         demands = [o.execution.demand for o in outcomes]
-        times = self.contention.contended_times(demands)
-        inflation = self.contention.inflation_factors(demands)
+        times, inflation = self.engine.run_synchronized(demands)
         return ConcurrencyResult(
             system=system.name,
             concurrency=concurrency,
             exec_times_s=tuple(times),
             setup_times_s=tuple(o.setup_time_s for o in outcomes),
             inflation=inflation,
+            utilization=self.engine.utilization_summary(),
         )
 
     def run_waves(
@@ -148,12 +167,21 @@ class Scheduler:
             for i, (system, input_index) in enumerate(batch)
         ]
         demands = [o.execution.demand for o in outcomes]
-        times = self.contention.contended_times(demands)
-        inflation = self.contention.inflation_factors(demands)
+        times, inflation = self.engine.run_synchronized(demands)
         return ConcurrencyResult(
             system="+".join(sorted({s.name for s, _ in batch})),
             concurrency=len(batch),
             exec_times_s=tuple(times),
             setup_times_s=tuple(o.setup_time_s for o in outcomes),
             inflation=inflation,
+            utilization=self.engine.utilization_summary(),
         )
+
+    def run_timeline(self, jobs: list[TimelineJob]) -> TimelineResult:
+        """Serve staggered arrivals on the event engine (no wave batching).
+
+        Passthrough to :meth:`EventScheduler.run_timeline`: contention
+        emerges from whoever overlaps on the timeline instead of being
+        solved per-batch.
+        """
+        return self.engine.run_timeline(jobs)

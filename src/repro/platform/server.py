@@ -45,6 +45,12 @@ from .overload import (
     ShedReason,
 )
 from .prewarm import PrewarmPolicy
+from ..sim.loop import (
+    PRIORITY_ARRIVAL,
+    PRIORITY_EMIT,
+    PRIORITY_RELEASE,
+    EventLoop,
+)
 
 __all__ = ["FunctionDeployment", "RequestLogEntry", "ServerlessPlatform"]
 
@@ -238,6 +244,19 @@ class ServerlessPlatform:
         forever — and batch-class traffic is shed before latency-class
         traffic is ever degraded.  Returns the log entries appended for
         this batch.
+
+        The batch runs on the event kernel (:mod:`repro.sim`): arrivals,
+        queue-slot and capacity-lease expiries, and telemetry emissions
+        are all events on one deterministic ``(time, priority, seq)``
+        timeline.  Bookkeeping events carry
+        :data:`~repro.sim.loop.PRIORITY_RELEASE`, so state that ended *by*
+        an arrival's instant is gone before its admission decision — the
+        event replay of the old "pop everything ``<= arrival``" scans.
+        Telemetry emissions carry :data:`~repro.sim.loop.PRIORITY_EMIT`
+        and fire at their simulated timestamps (a breaker transition
+        observed at a request's *finish* is emitted at that finish, not at
+        the arrival that computed it), so shed/breaker/health events land
+        in the log in nondecreasing simulated-time order.
         """
         normalized = self._validated_requests(requests)
         cores = [0.0] * self.n_cores
@@ -245,22 +264,82 @@ class ServerlessPlatform:
         batch: list[RequestLogEntry] = []
         ov = self.overload
         track = ov is not None or self.capacity is not None
-        pending_starts: list[float] = []
-        inflight: dict[str, list[float]] = {}
-        for arrival, name, input_index, req_class in normalized:
+        loop = EventLoop()
+        pending_started = {"n": 0}
+        fn_inflight: dict[str, int] = {}
+        outstanding_leases: dict[object, tuple[float, str]] = {}
+
+        def defer_emit(
+            when_s: float, kind: EventKind, function: str, invocation: int, **detail
+        ) -> None:
+            """Emit telemetry as an event at ``when_s`` (now, if already past).
+
+            Detail values are captured eagerly — the emission observes the
+            state at decision time, only its position on the timeline moves.
+            """
+            if self.telemetry is None:
+                return
+
+            def _fire(_now: float) -> None:
+                self._emit_platform_event(kind, function, invocation, **detail)
+
+            loop.schedule_at(
+                max(float(when_s), loop.now),
+                _fire,
+                priority=PRIORITY_EMIT,
+                category="emit",
+            )
+
+        def queue_slot(start: float) -> None:
+            """Count a granted request as queued until its start fires."""
+            pending_started["n"] += 1
+
+            def _fire(_now: float) -> None:
+                pending_started["n"] -= 1
+
+            loop.schedule_at(
+                start, _fire, priority=PRIORITY_RELEASE, category="release"
+            )
+
+        def inflight_slot(name: str, finish: float) -> None:
+            """Count a request against its function until it finishes."""
+            fn_inflight[name] = fn_inflight.get(name, 0) + 1
+
+            def _fire(_now: float) -> None:
+                fn_inflight[name] -= 1
+
+            loop.schedule_at(
+                finish, _fire, priority=PRIORITY_RELEASE, category="release"
+            )
+
+        def lease_slot(finish: float, lease_name: str) -> None:
+            """Hold host memory until the VM's finish event releases it."""
+            token = object()
+            outstanding_leases[token] = (finish, lease_name)
+
+            def _fire(_now: float) -> None:
+                del outstanding_leases[token]
+                self.capacity.release(lease_name)
+
+            loop.schedule_at(
+                finish, _fire, priority=PRIORITY_RELEASE, category="release"
+            )
+
+        # Leases carried over from earlier batches expire as events too.
+        carried = self._capacity_leases
+        self._capacity_leases = []
+        for finish, lease_name in sorted(carried):
+            lease_slot(finish, lease_name)
+
+        def handle_arrival(
+            arrival: float, name: str, input_index: int, req_class: RequestClass
+        ) -> None:
             dep = self.deployments[name]
             force_fallback = False
             setup_budget_s: float | None = None
             deadline_s: float | None = None
             shed_reason: ShedReason | None = None
             queue_delay_s = max(0.0, cores[0] - arrival)
-            if track:
-                while pending_starts and pending_starts[0] <= arrival:
-                    heapq.heappop(pending_starts)
-                fn_q = inflight.setdefault(name, [])
-                while fn_q and fn_q[0] <= arrival:
-                    heapq.heappop(fn_q)
-                self._release_capacity(arrival)
             if ov is not None:
                 pressure = (
                     self.capacity.fast_pressure if self.capacity is not None else 0.0
@@ -270,7 +349,8 @@ class ServerlessPlatform:
                     queue_delay_s=queue_delay_s,
                     capacity_pressure=pressure,
                 ):
-                    self._emit_platform_event(
+                    defer_emit(
+                        at_s,
                         EventKind.HEALTH_TRANSITION,
                         "platform",
                         len(self.log) + len(batch),
@@ -282,9 +362,9 @@ class ServerlessPlatform:
                     )
                 self._apply_ladder_effects(ov)
                 shed_reason = ov.admission_limit_hit(
-                    queue_depth=len(pending_starts),
+                    queue_depth=pending_started["n"],
                     queue_delay_s=queue_delay_s,
-                    function_depth=len(fn_q),
+                    function_depth=fn_inflight.get(name, 0),
                 )
                 if shed_reason is not None and req_class is RequestClass.LATENCY:
                     # Latency traffic is never shed by an admission limit:
@@ -320,7 +400,9 @@ class ServerlessPlatform:
                     breaker = ov.breaker_for(name)
                     if breaker is not None:
                         for old, new, why in breaker.poll(arrival):
-                            self._emit_breaker_transition(name, old, new, why, arrival)
+                            self._emit_breaker_transition(
+                                defer_emit, name, old, new, why, arrival
+                            )
                         if breaker.state is BreakerState.OPEN:
                             if (
                                 ov.config.breaker_fail_fast
@@ -341,8 +423,9 @@ class ServerlessPlatform:
                         reason=shed_reason,
                         deadline_s=deadline_s,
                         queue_delay_s=queue_delay_s,
+                        emit=defer_emit,
                     )
-                    continue
+                    return
                 if deadline_s is not None and not force_fallback:
                     setup_budget_s = max(
                         0.0,
@@ -365,8 +448,9 @@ class ServerlessPlatform:
                         reason=ShedReason.CAPACITY,
                         deadline_s=deadline_s,
                         queue_delay_s=queue_delay_s,
+                        emit=defer_emit,
                     )
-                    continue
+                    return
                 lease_name = vm.name
             free_at = heapq.heappop(cores)
             start = max(arrival, free_at)
@@ -410,7 +494,7 @@ class ServerlessPlatform:
                         if breaker is not None:
                             for old, new, why in breaker.record_outcome(False, start):
                                 self._emit_breaker_transition(
-                                    name, old, new, why, start
+                                    defer_emit, name, old, new, why, start
                                 )
                 batch.append(
                     RequestLogEntry(
@@ -429,7 +513,7 @@ class ServerlessPlatform:
                         deadline_s=deadline_s,
                     )
                 )
-                continue
+                return
             dep.invocations += 1
             # Predictive pre-warming hides the restore of a correctly
             # anticipated tiered invocation (Section VI-A: "TOSS can load
@@ -448,10 +532,10 @@ class ServerlessPlatform:
             finish = start + outcome.total_time_s
             heapq.heappush(cores, finish)
             if track:
-                heapq.heappush(pending_starts, start)
-                heapq.heappush(inflight[name], finish)
+                queue_slot(start)
+                inflight_slot(name, finish)
             if lease_name is not None:
-                heapq.heappush(self._capacity_leases, (finish, lease_name))
+                lease_slot(finish, lease_name)
             bill = bill_invocation(
                 guest_mb=dep.function.guest_mb,
                 duration_s=outcome.total_time_s,
@@ -495,7 +579,31 @@ class ServerlessPlatform:
                         for old, new, why in breaker.record_outcome(
                             not failed_signal, finish
                         ):
-                            self._emit_breaker_transition(name, old, new, why, finish)
+                            self._emit_breaker_transition(
+                                defer_emit, name, old, new, why, finish
+                            )
+
+        for arrival, name, input_index, req_class in normalized:
+
+            def _fire(
+                _now: float,
+                a: float = arrival,
+                n: str = name,
+                i: int = input_index,
+                c: RequestClass = req_class,
+            ) -> None:
+                handle_arrival(a, n, i, c)
+
+            loop.schedule_at(
+                arrival, _fire, priority=PRIORITY_ARRIVAL, category="arrival"
+            )
+        # Stop once the last arrival has been decided: leases that expire
+        # past the batch must survive into the next serve() call.
+        loop.run_while_category("arrival")
+        # Flush telemetry stamped past the final arrival, in time order.
+        loop.drain_category("emit")
+        self._capacity_leases = sorted(outstanding_leases.values())
+        heapq.heapify(self._capacity_leases)
         self.log.extend(batch)
         return batch
 
@@ -546,8 +654,12 @@ class ServerlessPlatform:
         reason: ShedReason,
         deadline_s: float | None,
         queue_delay_s: float,
+        emit,
     ) -> None:
-        """Record one typed shed decision (log entry + policy + telemetry)."""
+        """Record one typed shed decision (log entry + policy + telemetry).
+
+        ``emit`` is the serve loop's deferred emitter: the shed event is
+        stamped — and emitted — at the arrival that made the decision."""
         dep = self.deployments[name]
         if self.overload is not None:
             self.overload.record_shed(
@@ -559,13 +671,15 @@ class ServerlessPlatform:
                     reason=reason,
                 )
             )
-        self._emit_platform_event(
+        emit(
+            arrival,
             EventKind.REQUEST_SHED,
             name,
             dep.invocations,
             reason=reason.value,
             request_class=req_class.value,
             queue_delay_s=round(queue_delay_s, 6),
+            at_s=round(arrival, 6),
         )
         batch.append(
             RequestLogEntry(
@@ -587,13 +701,21 @@ class ServerlessPlatform:
 
     def _emit_breaker_transition(
         self,
+        emit,
         name: str,
         old: BreakerState,
         new: BreakerState,
         why: str,
         at_s: float,
     ) -> None:
-        self._emit_platform_event(
+        """Defer a breaker-transition emission to its simulated timestamp.
+
+        The breaker *state* changes eagerly (the next admission decision
+        must see it); only the telemetry record rides the timeline, so a
+        transition observed at a finish appears in the log at that finish.
+        """
+        emit(
+            at_s,
             EventKind.BREAKER_TRANSITION,
             name,
             self.deployments[name].invocations,

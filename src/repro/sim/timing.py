@@ -1,0 +1,44 @@
+"""Shared setup/execution timing bookkeeping.
+
+Before the event kernel existed, ``baselines.base.SystemOutcome`` and
+``multitier.vm.MultiTierVM`` each kept their own setup/exec arithmetic
+(totals and baseline-normalised slowdowns).  Both now route through this
+one helper so a timing convention changes in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["InvocationTiming", "normalized_slowdown"]
+
+
+@dataclass(frozen=True)
+class InvocationTiming:
+    """Setup + execution phases of one invocation, in simulated seconds."""
+
+    setup_s: float
+    exec_s: float
+
+    def __post_init__(self) -> None:
+        if self.setup_s < 0 or self.exec_s < 0:
+            raise ConfigError("phase times must be non-negative")
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end time (the Figure 8 quantity)."""
+        return self.setup_s + self.exec_s
+
+    def slowdown_vs(self, baseline_s: float) -> float:
+        """Total time normalised to a baseline run."""
+        return normalized_slowdown(self.total_s, baseline_s)
+
+
+def normalized_slowdown(time_s: float, baseline_s: float) -> float:
+    """``time / baseline``, floored at 1.0 (a placement cannot beat its
+    own all-fast baseline; sub-1.0 ratios are measurement jitter)."""
+    if baseline_s <= 0:
+        raise ConfigError("baseline duration must be positive")
+    return max(1.0, time_s / baseline_s)

@@ -25,20 +25,47 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from .. import config, faults
-from ..errors import FaultInjected, RestoreRetryExhausted, TierUnavailableError
+from ..errors import (
+    ConfigError,
+    FaultInjected,
+    RestoreRetryExhausted,
+    TierUnavailableError,
+)
 from ..memsim.storage import StorageDevice
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem, Tier
 from .microvm import Backing, MicroVM
 from .snapshot import ReapSnapshot, SingleTierSnapshot, TieredSnapshot
 
 __all__ = [
+    "RestorePhase",
     "RestoreResult",
     "warm_restore",
     "lazy_restore",
     "reap_restore",
     "tiered_restore",
     "recovering_restore",
+    "restore_process",
 ]
+
+
+@dataclass(frozen=True)
+class RestorePhase:
+    """One step of a restore's setup timeline.
+
+    Every strategy decomposes its setup bill into ordered phases (VM
+    state load, per-region mmap establishment, working-set prefetch,
+    …).  ``seconds`` is the phase's *uncontended* duration — the phases
+    of a result sum left-to-right to exactly ``setup_time_s``.  Phases
+    that put load on shared hardware name the ``resource`` (a key of
+    :data:`repro.memsim.bandwidth.RESOURCES`) and the operation count
+    ``ops`` they offer it; the event kernel turns those into per-chunk
+    token-bucket draws so concurrent restores queue on each other
+    (:func:`restore_process`)."""
+
+    label: str
+    seconds: float
+    resource: str | None = None
+    ops: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -49,7 +76,9 @@ class RestoreResult:
     absorb from injected faults (zero on the happy path); ``fallback``
     marks a result produced by the vanilla lazy path after the requested
     strategy failed unrecoverably; ``backpressure`` is the slow-tier
-    latency multiplier in force when the restore happened."""
+    latency multiplier in force when the restore happened;
+    ``phases`` is the setup bill decomposed into the ordered
+    :class:`RestorePhase` steps the event kernel replays."""
 
     vm: MicroVM
     setup_time_s: float
@@ -59,6 +88,57 @@ class RestoreResult:
     fault_stall_s: float = 0.0
     fallback: bool = False
     backpressure: float = 1.0
+    phases: tuple[RestorePhase, ...] = ()
+
+
+def _total_seconds(phases: tuple[RestorePhase, ...]) -> float:
+    """Left-to-right sum of phase durations.
+
+    The phase decomposition is the *definition* of setup time: summing in
+    phase order reproduces the historical closed-form expressions
+    bit-for-bit (each phase is one term of the old sum, and IEEE-754
+    addition is performed in the same order).
+    """
+    total = 0.0
+    for phase in phases:
+        total += phase.seconds
+    return total
+
+
+def restore_process(
+    result: RestoreResult,
+    pool,
+    *,
+    chunks: int = 8,
+):
+    """Run a restore's setup phases as an event-loop process.
+
+    Yields :class:`~repro.sim.loop.Delay` commands — one per chunk of
+    each phase.  Phases that load a shared resource draw their operation
+    chunk from the pool's token bucket first and stall for whatever
+    backlog other restores have already queued there, so interleaved
+    cold starts slow each other exactly where the hardware is shared.
+    A restore alone on the timeline sees no backlog and completes in its
+    analytic ``setup_time_s`` (modulo its own self-throttling when a
+    chunk offers more operations than the bucket turns over in the
+    chunk's own duration).
+
+    ``pool`` is a :class:`~repro.sim.contention.ResourcePool`; use
+    :meth:`repro.memsim.bandwidth.ContentionModel.resource_pool`.
+    """
+    from ..sim.loop import Delay
+
+    if chunks < 1:
+        raise ConfigError("chunks must be >= 1")
+    for phase in result.phases:
+        if phase.resource is None or phase.ops <= 0:
+            yield Delay(phase.seconds)
+            continue
+        bucket = pool[phase.resource]
+        n = max(1, chunks)
+        for i in range(n):
+            wait = bucket.consume(phase.ops / n)
+            yield Delay(phase.seconds / n + wait)
 
 
 def _verify_snapshot(snapshot, injector: "faults.FaultInjector | None") -> None:
@@ -92,7 +172,7 @@ def warm_restore(
         page_versions=snapshot.page_versions,
         label=f"warm:{snapshot.label}",
     )
-    return RestoreResult(vm=vm, setup_time_s=0.0, strategy="warm")
+    return RestoreResult(vm=vm, setup_time_s=0.0, strategy="warm", phases=())
 
 
 def lazy_restore(
@@ -112,8 +192,13 @@ def lazy_restore(
         page_versions=snapshot.page_versions,
         label=f"lazy:{snapshot.label}",
     )
-    setup = config.VM_STATE_LOAD_S + config.MMAP_REGION_SETUP_S
-    return RestoreResult(vm=vm, setup_time_s=setup, strategy="lazy")
+    phases = (
+        RestorePhase("vm-state-load", config.VM_STATE_LOAD_S),
+        RestorePhase("mmap", config.MMAP_REGION_SETUP_S),
+    )
+    return RestoreResult(
+        vm=vm, setup_time_s=_total_seconds(phases), strategy="lazy", phases=phases
+    )
 
 
 def reap_restore(
@@ -160,21 +245,29 @@ def reap_restore(
         label=f"reap:{snapshot.base.label}",
     )
     stall_before = ssd.injected_stall_s
-    setup = (
-        config.VM_STATE_LOAD_S
-        + 2 * config.MMAP_REGION_SETUP_S  # memory file + WS file
-        + ssd.sequential_read_time(snapshot.ws_bytes)
-        + snapshot.ws_pages * config.REAP_POPULATE_PER_PAGE_S
-        + fault_stall_s
+    phases = (
+        RestorePhase("vm-state-load", config.VM_STATE_LOAD_S),
+        RestorePhase("mmap", 2 * config.MMAP_REGION_SETUP_S),  # memory + WS file
+        RestorePhase(
+            "ws-stream",
+            ssd.sequential_read_time(snapshot.ws_bytes),
+            resource="ssd",
+            ops=float(snapshot.ws_pages),
+        ),
+        RestorePhase(
+            "ws-populate", snapshot.ws_pages * config.REAP_POPULATE_PER_PAGE_S
+        ),
+        RestorePhase("fault-backoff", fault_stall_s),
     )
     fault_stall_s += ssd.injected_stall_s - stall_before
     return RestoreResult(
         vm=vm,
-        setup_time_s=setup,
+        setup_time_s=_total_seconds(phases),
         strategy="reap",
         n_mappings=2,
         retries=retries,
         fault_stall_s=fault_stall_s,
+        phases=phases,
     )
 
 
@@ -234,21 +327,29 @@ def tiered_restore(
         page_versions=snapshot.base.page_versions,
         label=f"toss:{snapshot.base.label}",
     )
-    setup = (
-        config.VM_STATE_LOAD_S
-        + config.TIERED_RESTORE_BASE_S
-        + snapshot.layout.parse_time_s()
-        + snapshot.layout.n_mappings * config.MMAP_REGION_SETUP_S
-        + fault_stall_s
+    phases = (
+        RestorePhase("vm-state-load", config.VM_STATE_LOAD_S),
+        RestorePhase("restore-base", config.TIERED_RESTORE_BASE_S),
+        RestorePhase(
+            "layout-parse",
+            snapshot.layout.parse_time_s(),
+            resource="ssd",
+            ops=float(1 + snapshot.layout.n_mappings),
+        ),
+        RestorePhase(
+            "mappings", snapshot.layout.n_mappings * config.MMAP_REGION_SETUP_S
+        ),
+        RestorePhase("fault-backoff", fault_stall_s),
     )
     return RestoreResult(
         vm=vm,
-        setup_time_s=setup,
+        setup_time_s=_total_seconds(phases),
         strategy="toss",
         n_mappings=snapshot.layout.n_mappings,
         retries=retries,
         fault_stall_s=fault_stall_s,
         backpressure=backpressure,
+        phases=phases,
     )
 
 

@@ -1,0 +1,106 @@
+"""Golden-result regression: the event kernel must not move the figures.
+
+``tests/fixtures/`` holds the rendered result tables committed before the
+event-driven engine replaced the wave scheduler.  Single-invocation (C=1)
+numbers — where no contention exists and the event engine's equilibrium
+is exactly the analytic solve — must reproduce byte-for-byte at the
+tables' rendered precision; contended fig9 cells must stay within a
+small tolerance of the recorded trend.
+
+The subsets used here were verified to be order-independent: every
+fixture row compared is produced by per-function seeds, so running one
+function alone yields the same bytes as the full-suite run that wrote
+``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig7_setup_time, fig8_invocation_time, fig9_scalability
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_rows(name: str) -> list[list[str]]:
+    """Whitespace-split non-header lines of a fixture table."""
+    lines = (FIXTURES / name).read_text().splitlines()
+    return [line.split() for line in lines if line and not set(line) <= {"-", " "}]
+
+
+def row_for(rows: list[list[str]], *prefix: str) -> list[str]:
+    for row in rows:
+        if tuple(row[: len(prefix)]) == prefix:
+            return row
+    raise AssertionError(f"no fixture row {prefix}")
+
+
+def fmt(value: float) -> str:
+    """The tables' rendering of a float (precision=2)."""
+    return f"{value:.2f}"
+
+
+class TestFig7Golden:
+    """Setup times are single restores — exact at rendered precision."""
+
+    def test_rows_byte_identical(self):
+        rows = fixture_rows("fig7_setup_time.txt")
+        res = fig7_setup_time.run(function_names=["pyaes", "compress"])
+        for name in ("pyaes", "compress"):
+            golden = row_for(rows, name)
+            assert [
+                fmt(res.toss[name]),
+                fmt(res.reap_min[name]),
+                fmt(res.reap_avg[name]),
+                fmt(res.reap_max[name]),
+            ] == golden[1:]
+
+
+class TestFig8Golden:
+    """Total invocation times (CLI settings: iterations=2) — exact."""
+
+    def test_rows_byte_identical(self):
+        rows = fixture_rows("fig8_invocation_time.txt")
+        res = fig8_invocation_time.run(
+            function_names=["float_operation"], iterations=2
+        )
+        for label in ("I", "II", "III", "IV"):
+            golden = row_for(rows, "float_operation", label)
+            key = ("float_operation", label)
+            assert [
+                fmt(res.toss[key]),
+                fmt(res.reap_avg[key]),
+                fmt(res.reap_max[key]),
+            ] == golden[2:]
+
+
+class TestFig9Golden:
+    """C=1 is the uncontended equilibrium — exact; trends within 5%."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_scalability.run(function_names=["pyaes"])
+
+    def test_c1_byte_identical(self, result):
+        rows = fixture_rows("fig9_scalability.txt")
+        for system in ("dram", "toss", "reap-best", "reap-worst"):
+            golden = row_for(rows, "pyaes", system)
+            assert fmt(result.slowdown[(system, "pyaes", 1)]) == golden[2]
+
+    def test_contended_trend_within_tolerance(self, result):
+        rows = fixture_rows("fig9_scalability.txt")
+        for system in ("dram", "toss", "reap-best", "reap-worst"):
+            golden = row_for(rows, "pyaes", system)
+            for col, c in zip(golden[3:], (5, 10, 20)):
+                recorded = float(col)
+                assert result.slowdown[(system, "pyaes", c)] == pytest.approx(
+                    recorded, rel=0.05
+                )
+
+    def test_utilization_telemetry_present(self, result):
+        summary = result.utilization[("reap-worst", "pyaes", 20)]
+        assert set(summary) == {"fast", "slow_read", "slow_write", "ssd", "uffd"}
+        # REAP-Worst's contended execution leans on the fault-service path.
+        assert summary["uffd"]["peak_rho"] > summary["slow_write"]["peak_rho"]

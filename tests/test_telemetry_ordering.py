@@ -1,0 +1,79 @@
+"""Deterministic telemetry ordering on the event-driven serve loop.
+
+Shed, breaker-transition and health-transition events are *decided*
+eagerly (the next admission check must see the new state) but *emitted*
+as events at their simulated timestamps, so the telemetry log reads like
+a timeline: ``at_s`` never decreases, no matter how far ahead of the
+arrival stream a breaker observed its transition.
+"""
+
+from __future__ import annotations
+
+from repro.core.telemetry import EventKind, TelemetryLog
+from repro.core.toss import TossConfig
+from repro.platform.overload import OverloadConfig
+from repro.platform.server import ServerlessPlatform
+
+SMALL_TOSS = TossConfig(convergence_window=3, min_profiling_invocations=3)
+
+ORDERED_KINDS = (
+    EventKind.REQUEST_SHED,
+    EventKind.BREAKER_TRANSITION,
+    EventKind.HEALTH_TRANSITION,
+)
+
+
+def overloaded_run(tiny_function):
+    """A stream that sheds, trips breakers and climbs the ladder."""
+    telemetry = TelemetryLog()
+    platform = ServerlessPlatform(
+        n_cores=1,
+        toss_cfg=SMALL_TOSS,
+        telemetry=telemetry,
+        overload=OverloadConfig(
+            max_queue_depth=2,
+            max_queue_delay_s=0.02,
+            slo_factor=4.0,
+            pressured_delay_s=0.010,
+            degraded_delay_s=0.040,
+            shedding_delay_s=0.120,
+            delay_alpha=0.3,
+        ),
+    )
+    platform.deploy(tiny_function)
+    warmup = [(0.001 * i, "tiny", i % 4) for i in range(12)]
+    burst = [
+        (0.5 + 0.0005 * i, "tiny", i % 4, "batch" if i % 2 else "latency")
+        for i in range(40)
+    ]
+    recovery = [(5.0 + 0.5 * i, "tiny", 0) for i in range(4)]
+    platform.serve(warmup + burst + recovery)
+    return platform, telemetry
+
+
+class TestTelemetryOrdering:
+    def test_ordered_kinds_carry_timestamps(self, tiny_function):
+        _, telemetry = overloaded_run(tiny_function)
+        stamped = [e for e in telemetry.events if e.kind in ORDERED_KINDS]
+        assert stamped, "scenario produced no overload telemetry"
+        assert {e.kind for e in stamped} >= {
+            EventKind.REQUEST_SHED,
+            EventKind.HEALTH_TRANSITION,
+        }
+        assert all("at_s" in e.detail for e in stamped)
+
+    def test_emission_order_is_nondecreasing_simulated_time(self, tiny_function):
+        _, telemetry = overloaded_run(tiny_function)
+        stamps = [
+            e.detail["at_s"] for e in telemetry.events if e.kind in ORDERED_KINDS
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_ordering_is_deterministic_across_runs(self, tiny_function):
+        _, first = overloaded_run(tiny_function)
+        _, second = overloaded_run(tiny_function)
+        key = [(e.kind, e.function, tuple(sorted(e.detail.items()))) for e in first.events]
+        assert key == [
+            (e.kind, e.function, tuple(sorted(e.detail.items())))
+            for e in second.events
+        ]
