@@ -138,6 +138,16 @@ def main(argv: list[str] | None = None) -> int:
     plot.add_argument(
         "--out", default=None, help="output path (default results/<name>.svg)"
     )
+    observe = sub.add_parser(
+        "observe",
+        help="run one experiment under tracing and export the observation",
+    )
+    observe.add_argument("name", choices=sorted(EXPERIMENTS))
+    observe.add_argument(
+        "--out",
+        default="results/obs",
+        help="output directory (default results/obs)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -170,6 +180,31 @@ def main(argv: list[str] | None = None) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(svg)
         print(f"wrote {out}")
+        return 0
+    if args.command == "observe":
+        import pathlib
+
+        from .obs import observing, perfetto_json, prometheus_text, spans_to_jsonl
+
+        title, runner = EXPERIMENTS[args.name]
+        print(f"== {title} (observed) ==")
+        with observing() as obs:
+            print(runner())
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        perfetto = out_dir / f"{args.name}.perfetto.json"
+        perfetto.write_text(perfetto_json(obs.tracer))
+        jsonl = out_dir / f"{args.name}.spans.jsonl"
+        jsonl.write_text(spans_to_jsonl(obs.tracer))
+        prom = out_dir / f"{args.name}.metrics.prom"
+        prom.write_text(prometheus_text(obs.metrics))
+        print(
+            f"captured {len(obs.tracer.spans)} spans, "
+            f"{len(obs.tracer.orphan_events)} trace events, "
+            f"{len(obs.metrics.families())} metric families"
+        )
+        for path in (perfetto, jsonl, prom):
+            print(f"wrote {path}")
         return 0
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names

@@ -36,21 +36,48 @@ class EventKind(enum.Enum):
 
 @dataclass(frozen=True)
 class TelemetryEvent:
-    """One milestone with its context."""
+    """One milestone with its context.
+
+    ``at_s`` is the simulated timestamp of the milestone, when the
+    emitter knows one (the event-driven platform always stamps its
+    shed/breaker/health events).  For one release it is mirrored into
+    ``detail["at_s"]`` — the pre-promotion location — so existing
+    consumers keep working; read the field, the detail copy is
+    deprecated.
+    """
 
     kind: EventKind
     function: str
     invocation: int
     detail: dict = field(default_factory=dict)
+    at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_s is None and "at_s" in self.detail:
+            object.__setattr__(self, "at_s", float(self.detail["at_s"]))
+        elif self.at_s is not None and "at_s" not in self.detail:
+            # Backward compatibility (one release): emitters that set the
+            # field still expose the timestamp where consumers used to
+            # find it.
+            self.detail["at_s"] = self.at_s
 
 
 class TelemetryLog:
-    """An in-memory event sink with optional subscribers."""
+    """An in-memory event sink with optional subscribers.
 
-    def __init__(self) -> None:
+    ``max_subscriber_errors`` bounds the error ledger: a persistently
+    raising subscriber in a long fleet run records at most that many
+    ``(event, exception)`` pairs (oldest first); later failures only
+    increment :attr:`dropped_subscriber_errors`.
+    """
+
+    def __init__(self, *, max_subscriber_errors: int = 1000) -> None:
         self.events: list[TelemetryEvent] = []
+        self._by_kind: dict[EventKind, list[TelemetryEvent]] = {}
         self._subscribers: list[Callable[[TelemetryEvent], None]] = []
+        self.max_subscriber_errors = max_subscriber_errors
         self.subscriber_errors: list[tuple[TelemetryEvent, Exception]] = []
+        self.dropped_subscriber_errors = 0
 
     def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
         """Call ``callback`` for every future event."""
@@ -62,34 +89,49 @@ class TelemetryLog:
         Subscribers are isolated from one another: a raising callback
         never poisons delivery to later subscribers (or the emitting
         controller).  Their exceptions are collected in
-        :attr:`subscriber_errors` for inspection rather than propagated.
+        :attr:`subscriber_errors` for inspection rather than propagated,
+        up to :attr:`max_subscriber_errors`; overflow is counted in
+        :attr:`dropped_subscriber_errors`.
         """
         self.events.append(event)
+        self._by_kind.setdefault(event.kind, []).append(event)
         for callback in self._subscribers:
             try:
                 callback(event)
             except Exception as exc:  # noqa: BLE001 - isolation by design
-                self.subscriber_errors.append((event, exc))
+                if len(self.subscriber_errors) < self.max_subscriber_errors:
+                    self.subscriber_errors.append((event, exc))
+                else:
+                    self.dropped_subscriber_errors += 1
 
     # -- queries -----------------------------------------------------------
 
     def of_kind(self, kind: EventKind) -> list[TelemetryEvent]:
-        """All events of one kind, in order."""
-        return [e for e in self.events if e.kind is kind]
+        """All events of one kind, in emission order.
+
+        Served from a per-kind index maintained by :meth:`emit`, so
+        repeated queries over long fleet logs are O(matches), not O(n)
+        rescans of every event.
+        """
+        return list(self._by_kind.get(kind, ()))
 
     def count(self, kind: EventKind) -> int:
         """Number of events of one kind."""
-        return len(self.of_kind(kind))
+        return len(self._by_kind.get(kind, ()))
 
     def last(self, kind: EventKind) -> TelemetryEvent | None:
         """Most recent event of one kind, if any."""
-        events = self.of_kind(kind)
+        events = self._by_kind.get(kind)
         return events[-1] if events else None
 
     def timeline(self) -> list[str]:
-        """Human-readable one-line-per-event rendering."""
+        """Human-readable one-line-per-event rendering.
+
+        Details render key-sorted, so the output is deterministic no
+        matter what order an emitter assembled its detail dict in.
+        """
         return [
             f"#{e.invocation:<4d} {e.function}: {e.kind.value}"
-            + (f" {e.detail}" if e.detail else "")
+            + (f" {dict(sorted(e.detail.items()))}" if e.detail else "")
             for e in self.events
         ]

@@ -27,6 +27,7 @@ from ..errors import (
 )
 from ..functions.base import FunctionModel
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..obs import runtime as obs_runtime
 from ..profiling.damon import DamonConfig, DamonProfiler
 from ..profiling.unified import UnifiedAccessPattern
 from ..vm.restore import lazy_restore, recovering_restore
@@ -149,6 +150,12 @@ class TossController:
                     detail=detail,
                 )
             )
+        obs = obs_runtime.active()
+        if obs is not None:
+            # Milestones land on the active span (or as trace-level
+            # instants), so a trace viewer shows *why* an invocation took
+            # the path it did next to how long it took.
+            obs.tracer.event(f"telemetry/{kind.value}", attrs=dict(detail))
 
     def _reset_profiling_state(self) -> None:
         """Start (or re-enter) the profiling phase.
@@ -197,11 +204,58 @@ class TossController:
         if seed is None:
             seed = self._seq
         self._seq += 1
-        if self.phase is Phase.INITIAL:
+        phase = self.phase
+        obs = obs_runtime.active()
+        if obs is None:
+            return self._dispatch_invocation(phase, input_index, seed, setup_budget_s)
+        with obs.tracer.span(
+            f"invoke/{phase.value}",
+            attrs={
+                "function": self.function.name,
+                "invocation": self._seq - 1,
+                "input_index": input_index,
+            },
+        ) as span:
+            outcome = self._dispatch_invocation(
+                phase, input_index, seed, setup_budget_s
+            )
+            span.attrs["setup_s"] = outcome.setup_time_s
+            span.attrs["exec_s"] = outcome.exec_time_s
+            span.attrs["degraded"] = outcome.degraded
+            if outcome.aborted:
+                span.attrs["aborted"] = True
+        self._observe_invocation(obs, phase.value, outcome)
+        return outcome
+
+    def _dispatch_invocation(
+        self,
+        phase: Phase,
+        input_index: int,
+        seed: int,
+        setup_budget_s: float | None,
+    ) -> InvocationOutcome:
+        """Route one invocation to its lifecycle step (phase pre-read so
+        the instrumented and plain paths pick identically)."""
+        if phase is Phase.INITIAL:
             return self._initial_invocation(input_index, seed)
-        if self.phase is Phase.PROFILING:
+        if phase is Phase.PROFILING:
             return self._profiling_invocation(input_index, seed)
         return self._tiered_invocation(input_index, seed, setup_budget_s)
+
+    def _observe_invocation(
+        self,
+        obs: obs_runtime.Observation,
+        phase_label: str,
+        outcome: InvocationOutcome,
+    ) -> None:
+        obs.metrics.histogram(
+            "toss_invocation_seconds",
+            "End-to-end invocation time (setup plus execution) by phase",
+        ).observe(outcome.total_time_s, phase=phase_label)
+        obs.metrics.counter(
+            "toss_invocations_total",
+            "Invocations served, by function and lifecycle phase",
+        ).inc(function=self.function.name, phase=phase_label)
 
     def invoke_fallback(
         self, input_index: int, seed: int | None = None
@@ -220,6 +274,26 @@ class TossController:
         if seed is None:
             seed = self._seq
         self._seq += 1
+        obs = obs_runtime.active()
+        if obs is None:
+            return self._fallback_invocation(input_index, seed)
+        with obs.tracer.span(
+            "invoke/fallback",
+            attrs={
+                "function": self.function.name,
+                "invocation": self._seq - 1,
+                "input_index": input_index,
+                "degraded": True,
+            },
+        ) as span:
+            outcome = self._fallback_invocation(input_index, seed)
+            span.attrs["setup_s"] = outcome.setup_time_s
+            span.attrs["exec_s"] = outcome.exec_time_s
+        self._observe_invocation(obs, "fallback", outcome)
+        return outcome
+
+    def _fallback_invocation(self, input_index: int, seed: int) -> InvocationOutcome:
+        assert self.single_snapshot is not None
         restore = lazy_restore(self.single_snapshot, memory=self.memory)
         trace = self.function.trace(input_index, seed, root_seed=self.cfg.root_seed)
         result = restore.vm.execute(trace)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from .. import config
 from ..errors import ConfigError
+from ..obs import runtime as obs_runtime
 from .tiers import MemorySystem
 from .storage import StorageSpec
 
@@ -200,6 +201,18 @@ class ContentionModel:
             times = new_times
             if delta <= self.tolerance:
                 break
+        obs = obs_runtime.active()
+        if obs is not None:
+            gauge = obs.metrics.gauge(
+                "toss_resource_inflation",
+                "Converged per-resource latency inflation factor",
+            )
+            for r in RESOURCES:
+                gauge.set(inflation[r], resource=r)
+            obs.metrics.counter(
+                "toss_contention_solves_total",
+                "Contention fixed-point solves performed",
+            ).inc()
         return times, inflation
 
     def contended_times(self, demands: list[TierDemand]) -> list[float]:

@@ -1,0 +1,212 @@
+"""Counters, gauges and fixed-bucket histograms for simulation metrics.
+
+The registry mirrors the Prometheus data model — families carry a name,
+a help string and a type; samples within a family are distinguished by
+label sets — but everything is plain in-memory Python, deterministic,
+and driven by simulated quantities only.
+
+Histograms use *fixed* bucket boundaries (no adaptive resizing: two runs
+of the same workload must produce the same buckets) and can answer
+p50/p95/p99 via the classic cumulative-bucket linear interpolation, the
+same estimate ``histogram_quantile`` computes server-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "LabelSet"]
+
+LabelSet = tuple[tuple[str, str], ...]
+"""Canonical (sorted) label pairs identifying one sample in a family."""
+
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Latency-shaped bucket upper bounds (seconds); +Inf is implicit."""
+
+
+def _labelset(labels: Mapping[str, str]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing sum per label set."""
+
+    name: str
+    help_text: str
+    values: dict[LabelSet, float] = field(default_factory=dict)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (>= 0) to the labelled sample."""
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease")
+        key = _labelset(labels)
+        self.values[key] = self.values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled sample (0 if never incremented)."""
+        return self.values.get(_labelset(labels), 0.0)
+
+
+@dataclass
+class Gauge:
+    """A set-to-current-value metric per label set."""
+
+    name: str
+    help_text: str
+    values: dict[LabelSet, float] = field(default_factory=dict)
+
+    def set(self, value: float, **labels: str) -> None:
+        """Overwrite the labelled sample."""
+        self.values[_labelset(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled sample (0 if never set)."""
+        return self.values.get(_labelset(labels), 0.0)
+
+
+@dataclass
+class _HistogramSample:
+    counts: list[int]
+    total: float = 0.0
+    n: int = 0
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation per label set."""
+
+    name: str
+    help_text: str
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    samples: dict[LabelSet, _HistogramSample] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise ConfigError(f"histogram {self.name!r} needs buckets")
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ConfigError(
+                f"histogram {self.name!r} buckets must strictly increase"
+            )
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled sample."""
+        key = _labelset(labels)
+        sample = self.samples.get(key)
+        if sample is None:
+            sample = _HistogramSample(counts=[0] * (len(self.buckets) + 1))
+            self.samples[key] = sample
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                sample.counts[i] += 1
+                break
+        else:
+            sample.counts[-1] += 1  # +Inf bucket
+        sample.total += value
+        sample.n += 1
+
+    def count(self, **labels: str) -> int:
+        """Observations recorded for the labelled sample."""
+        sample = self.samples.get(_labelset(labels))
+        return sample.n if sample else 0
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observed values for the labelled sample."""
+        sample = self.samples.get(_labelset(labels))
+        return sample.total if sample else 0.0
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Cumulative-bucket linear-interpolation quantile estimate.
+
+        Mirrors Prometheus ``histogram_quantile``: find the bucket where
+        the cumulative count crosses ``q * n`` and interpolate within it
+        (the +Inf bucket clamps to the highest finite bound).  Returns
+        0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile {q} outside [0, 1]")
+        sample = self.samples.get(_labelset(labels))
+        if sample is None or sample.n == 0:
+            return 0.0
+        rank = q * sample.n
+        cumulative = 0
+        for i, upper in enumerate(self.buckets):
+            prev_cumulative = cumulative
+            cumulative += sample.counts[i]
+            if cumulative >= rank and sample.counts[i] > 0:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                fraction = (rank - prev_cumulative) / sample.counts[i]
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        return self.buckets[-1]
+
+    def summary(self, **labels: str) -> dict[str, float]:
+        """The p50/p95/p99 digest of the labelled sample."""
+        return {
+            "p50": self.quantile(0.50, **labels),
+            "p95": self.quantile(0.95, **labels),
+            "p99": self.quantile(0.99, **labels),
+        }
+
+
+class MetricsRegistry:
+    """Named metric families, created on first use, rendered in order."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(
+        self, instrument: Counter | Gauge | Histogram
+    ) -> Counter | Gauge | Histogram:
+        existing = self._families.get(instrument.name)
+        if existing is not None:
+            if type(existing) is not type(instrument):
+                raise ConfigError(
+                    f"metric {instrument.name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        self._families[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create a counter family."""
+        out = self._register(Counter(name, help_text))
+        assert isinstance(out, Counter)
+        return out
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create a gauge family."""
+        out = self._register(Gauge(name, help_text))
+        assert isinstance(out, Gauge)
+        return out
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        out = self._register(
+            Histogram(
+                name,
+                help_text,
+                tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+            )
+        )
+        assert isinstance(out, Histogram)
+        return out
+
+    def families(self) -> list[Counter | Gauge | Histogram]:
+        """All families in registration order."""
+        return list(self._families.values())
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """A family by name, if registered."""
+        return self._families.get(name)

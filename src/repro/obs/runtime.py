@@ -1,0 +1,96 @@
+"""Process-wide observation switch (the zero-overhead gate).
+
+Hot paths do::
+
+    obs = runtime.active()
+    if obs is not None:
+        obs.tracer.record(...)
+
+With no observation activated — the default — that is a module-global
+read and an ``is None`` test; no object is allocated, no branch of the
+simulation changes, and the golden fixtures stay byte-identical (the
+regression suite asserts this).  Activating an :class:`Observation`
+turns the same paths into span/metric producers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from .metrics import MetricsRegistry
+from .spans import AttrValue, Tracer
+
+if TYPE_CHECKING:
+    from ..sim.loop import EventLoop
+
+__all__ = ["Observation", "activate", "active", "deactivate", "observing"]
+
+
+@dataclass
+class Observation:
+    """A tracer plus a metrics registry, activated as one unit."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def wire_loop(self, loop: "EventLoop") -> None:
+        """Attach the loop's resource-wait hook so Acquire/Release grants
+        attribute per-process wait time to spans and metrics."""
+        wait_hist = self.metrics.histogram(
+            "toss_resource_wait_seconds",
+            "Simulated seconds processes waited for shared resources",
+        )
+
+        def _on_wait(
+            resource: str, process: str, granted_at_s: float, wait_s: float
+        ) -> None:
+            wait_hist.observe(wait_s, resource=resource)
+            if wait_s > 0.0:
+                attrs: dict[str, AttrValue] = {
+                    "process": process,
+                    "resource": resource,
+                    "wait_s": wait_s,
+                }
+                self.tracer.event(
+                    f"resource-wait/{resource}", at_s=granted_at_s, attrs=attrs
+                )
+
+        loop.span_hook = _on_wait
+
+
+_ACTIVE: Observation | None = None
+
+
+def active() -> Observation | None:
+    """The activated observation, or ``None`` (the zero-overhead case)."""
+    return _ACTIVE
+
+
+def activate(obs: Observation) -> Observation:
+    """Install ``obs`` as the process-wide observation."""
+    global _ACTIVE
+    _ACTIVE = obs
+    return obs
+
+
+def deactivate() -> None:
+    """Turn observation off again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def observing(obs: Observation | None = None) -> Iterator[Observation]:
+    """Activate an observation for a ``with`` block (fresh by default)."""
+    target = obs if obs is not None else Observation()
+    previous = active()
+    activate(target)
+    try:
+        yield target
+    finally:
+        if previous is None:
+            deactivate()
+        else:
+            activate(previous)

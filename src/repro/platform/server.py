@@ -31,6 +31,8 @@ from ..core.toss import InvocationOutcome, Phase, TossConfig, TossController
 from ..errors import FaultInjected, SchedulerError
 from ..functions.base import FunctionModel
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..obs import runtime as obs_runtime
+from ..obs.spans import SpanStatus
 from ..pricing.billing import TieredBill, bill_invocation
 from ..vm.microvm import MicroVM
 from .capacity import HostCapacity, ResidentVM
@@ -265,6 +267,9 @@ class ServerlessPlatform:
         ov = self.overload
         track = ov is not None or self.capacity is not None
         loop = EventLoop()
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.wire_loop(loop)
         pending_started = {"n": 0}
         fn_inflight: dict[str, int] = {}
         outstanding_leases: dict[object, tuple[float, str]] = {}
@@ -277,7 +282,7 @@ class ServerlessPlatform:
             Detail values are captured eagerly — the emission observes the
             state at decision time, only its position on the timeline moves.
             """
-            if self.telemetry is None:
+            if self.telemetry is None and obs is None:
                 return
 
             def _fire(_now: float) -> None:
@@ -454,6 +459,31 @@ class ServerlessPlatform:
                 lease_name = vm.name
             free_at = heapq.heappop(cores)
             start = max(arrival, free_at)
+            span = None
+            if obs is not None:
+                # Request starts are nondecreasing (the core heap's minima
+                # are), so re-anchoring the cursor at each start keeps the
+                # controller's child spans on the request's timeline.
+                obs.tracer.seek(start)
+                span = obs.tracer.start_span(
+                    f"request/{name}",
+                    start_s=arrival,
+                    attrs={
+                        "function": name,
+                        "input_index": input_index,
+                        "class": req_class.value,
+                    },
+                )
+                if start > arrival:
+                    obs.tracer.event(
+                        "queue-wait",
+                        at_s=start,
+                        attrs={"wait_s": start - arrival},
+                    )
+                obs.metrics.histogram(
+                    "toss_queue_delay_seconds",
+                    "Seconds requests waited for a free core",
+                ).observe(start - arrival)
             if self.faults is not None:
                 # Time-windowed faults (outages, backpressure) key off the
                 # moment the restore actually begins.
@@ -476,6 +506,9 @@ class ServerlessPlatform:
                 # is returned at its true free time, and the entry records
                 # how long the request actually waited for it.
                 heapq.heappush(cores, free_at)
+                if span is not None:
+                    span.attrs["error"] = type(exc).__name__
+                    obs.tracer.end_span(span, end_s=start, status=SpanStatus.ERROR)
                 if lease_name is not None:
                     self.capacity.release(lease_name)
                 self._emit_platform_event(
@@ -515,6 +548,7 @@ class ServerlessPlatform:
                 )
                 return
             dep.invocations += 1
+            setup_hidden = False
             # Predictive pre-warming hides the restore of a correctly
             # anticipated tiered invocation (Section VI-A: "TOSS can load
             # the VM before the predicted function execution").
@@ -528,6 +562,7 @@ class ServerlessPlatform:
                 )
                 self.prewarm.observe(name, arrival)
                 if hidden:
+                    setup_hidden = True
                     outcome = replace(outcome, setup_time_s=0.0)
             finish = start + outcome.total_time_s
             heapq.heappush(cores, finish)
@@ -570,6 +605,17 @@ class ServerlessPlatform:
                     aborted=outcome.aborted,
                 )
             )
+            if span is not None:
+                span.attrs["phase"] = outcome.phase.value
+                span.attrs["setup_s"] = outcome.setup_time_s
+                span.attrs["exec_s"] = outcome.exec_time_s
+                span.attrs["degraded"] = outcome.degraded
+                if setup_hidden:
+                    # Prewarm hid the restore: the controller's child spans
+                    # still show the setup work, so they overrun the
+                    # request's billed window by design.
+                    span.attrs["setup_hidden"] = True
+                obs.tracer.end_span(span, end_s=finish)
             if ov is not None:
                 failed_signal = outcome.failures > 0 or outcome.aborted
                 ov.ladder.note_outcome(failed_signal)
@@ -698,6 +744,28 @@ class ServerlessPlatform:
                 shed_reason=reason.value,
             )
         )
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.tracer.record(
+                f"request/{name}",
+                0.0,
+                start_s=arrival,
+                attrs={
+                    "function": name,
+                    "input_index": input_index,
+                    "class": req_class.value,
+                    "shed_reason": reason.value,
+                },
+                status=SpanStatus.ABORTED,
+            )
+            obs.metrics.counter(
+                "toss_requests_shed_total",
+                "Requests rejected at admission, by shed reason",
+            ).inc(reason=reason.value)
+            obs.metrics.histogram(
+                "toss_queue_delay_seconds",
+                "Seconds requests waited for a free core",
+            ).observe(queue_delay_s)
 
     def _emit_breaker_transition(
         self,
@@ -736,6 +804,14 @@ class ServerlessPlatform:
                     invocation=invocation,
                     detail=detail,
                 )
+            )
+        obs = obs_runtime.active()
+        if obs is not None:
+            # Deferred emissions fire between requests (empty span stack),
+            # so these land as trace-level instants in the export.
+            obs.tracer.event(
+                f"telemetry/{kind.value}",
+                attrs={"function": function, "invocation": invocation, **detail},
             )
 
     # -- keep-alive integration ----------------------------------------------------

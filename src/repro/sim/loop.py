@@ -151,6 +151,12 @@ class EventLoop:
         self._live: dict[str, int] = {}
         self.processed = 0
         self.clock = SimClock(self)
+        self.span_hook: Callable[[str, str, float, float], None] | None = None
+        """Optional observability hook, called as ``(resource_name,
+        process_name, granted_at_s, wait_s)`` whenever a resource grants
+        an ``Acquire`` — immediately (wait 0) or after FIFO queueing — so
+        resource-wait time can be attributed per process.  ``None`` (the
+        default) costs a single attribute read per grant."""
 
     # -- scheduling ------------------------------------------------------------
 

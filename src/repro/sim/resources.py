@@ -35,6 +35,7 @@ class _Waiter:
     process: "Process"
     amount: float
     seq: int
+    enqueued_at_s: float = 0.0
 
 
 class Resource:
@@ -100,6 +101,9 @@ class Resource:
     def _enqueue(self, process: "Process", amount: float) -> None:
         """A process asked for units; grant now or queue FIFO."""
         if not self.waiters and self.try_acquire(amount):
+            hook = self.loop.span_hook
+            if hook is not None:
+                hook(self.name, process.name, self.loop.now, 0.0)
             self.loop.schedule(0.0, process._step)
             return
         if amount > self.capacity:
@@ -107,7 +111,9 @@ class Resource:
                 f"cannot acquire {amount} from {self.name!r} "
                 f"(capacity {self.capacity})"
             )
-        self.waiters.append(_Waiter(process, amount, self._wait_seq))
+        self.waiters.append(
+            _Waiter(process, amount, self._wait_seq, self.loop.now)
+        )
         self._wait_seq += 1
 
     def release(self, amount: float = 1.0) -> None:
@@ -131,6 +137,14 @@ class Resource:
             self.grants += 1
             self._check()
             self._sample()
+            hook = self.loop.span_hook
+            if hook is not None:
+                hook(
+                    self.name,
+                    head.process.name,
+                    self.loop.now,
+                    self.loop.now - head.enqueued_at_s,
+                )
             self.loop.schedule(0.0, head.process._step)
 
     # -- reporting -------------------------------------------------------------

@@ -28,6 +28,7 @@ from ..memsim.accounting import PerfCounters
 from ..memsim.bandwidth import TierDemand
 from ..memsim.page_cache import HostPageCache
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem, Tier
+from ..obs import runtime as obs_runtime
 from ..trace.events import InvocationTrace
 
 __all__ = ["Backing", "EpochRecord", "ExecutionResult", "MicroVM"]
@@ -239,12 +240,29 @@ class MicroVM:
             uffd_stall_s=uffd_stall,
             uffd_ops=uffd_ops,
         )
-        return ExecutionResult(
+        result = ExecutionResult(
             counters=counters,
             demand=demand,
             epoch_records=tuple(records),
             label=trace.label,
         )
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.tracer.record(
+                "execute",
+                result.time_s,
+                attrs={
+                    "vm": self.label,
+                    "trace": trace.label,
+                    "fast_accesses": counters.fast_accesses,
+                    "slow_accesses": counters.slow_accesses,
+                },
+            )
+            obs.metrics.histogram(
+                "toss_execute_seconds",
+                "Uncontended guest execution time per invocation",
+            ).observe(result.time_s)
+        return result
 
     # -- fault handling -----------------------------------------------------------
 

@@ -31,6 +31,7 @@ from ..errors import (
     RestoreRetryExhausted,
     TierUnavailableError,
 )
+from ..obs import runtime as obs_runtime
 from ..memsim.storage import StorageDevice
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem, Tier
 from .microvm import Backing, MicroVM
@@ -91,6 +92,63 @@ class RestoreResult:
     phases: tuple[RestorePhase, ...] = ()
 
 
+def _observe_restore(
+    result: RestoreResult, bytes_by_tier: dict[str, float] | None = None
+) -> RestoreResult:
+    """Trace and meter one restore when observation is active.
+
+    The restore becomes a ``restore/<strategy>`` span whose children are
+    the :class:`RestorePhase` steps laid out left-to-right with their
+    analytic durations, so the children's durations sum to
+    ``setup_time_s`` exactly (same IEEE-754 addition order as
+    :func:`_total_seconds`).  ``bytes_by_tier`` feeds the
+    restore-bytes-by-tier counter.  A no-op — returning the result
+    untouched — unless an observation is activated.
+    """
+    obs = obs_runtime.active()
+    if obs is None:
+        return result
+    tracer = obs.tracer
+    with tracer.span(
+        f"restore/{result.strategy}",
+        attrs={
+            "n_mappings": result.n_mappings,
+            "retries": result.retries,
+            "fallback": result.fallback,
+            "backpressure": result.backpressure,
+        },
+    ) as span:
+        for phase in result.phases:
+            tracer.record(
+                f"restore/{result.strategy}/{phase.label}",
+                phase.seconds,
+                attrs={"resource": phase.resource or "", "ops": phase.ops},
+            )
+        span.attrs["setup_s"] = result.setup_time_s
+    obs.metrics.histogram(
+        "toss_restore_setup_seconds",
+        "Simulated restore setup time by strategy",
+    ).observe(result.setup_time_s, strategy=result.strategy)
+    if bytes_by_tier:
+        counter = obs.metrics.counter(
+            "toss_restore_bytes_total",
+            "Bytes mapped or streamed at restore, by memory tier",
+        )
+        for tier, n_bytes in bytes_by_tier.items():
+            counter.inc(n_bytes, strategy=result.strategy, tier=tier)
+    if result.retries:
+        obs.metrics.counter(
+            "toss_restore_retries_total",
+            "Faulted snapshot reads recovered by retry during restores",
+        ).inc(result.retries, strategy=result.strategy)
+    if result.fallback:
+        obs.metrics.counter(
+            "toss_restore_fallbacks_total",
+            "Restores served by the lazy fallback path",
+        ).inc(1.0, strategy=result.strategy)
+    return result
+
+
 def _total_seconds(phases: tuple[RestorePhase, ...]) -> float:
     """Left-to-right sum of phase durations.
 
@@ -130,15 +188,42 @@ def restore_process(
 
     if chunks < 1:
         raise ConfigError("chunks must be >= 1")
+    obs = obs_runtime.active()
     for phase in result.phases:
         if phase.resource is None or phase.ops <= 0:
             yield Delay(phase.seconds)
             continue
         bucket = pool[phase.resource]
         n = max(1, chunks)
+        started_at = pool.loop.now
+        waited = 0.0
         for i in range(n):
             wait = bucket.consume(phase.ops / n)
+            waited += wait
             yield Delay(phase.seconds / n + wait)
+        if obs is not None:
+            # The transfer becomes a span on the *event-loop* timeline:
+            # its duration is the phase's uncontended time plus whatever
+            # queueing the shared token bucket imposed.
+            obs.tracer.record(
+                f"transfer/{phase.resource}",
+                pool.loop.now - started_at,
+                start_s=started_at,
+                attrs={
+                    "phase": phase.label,
+                    "strategy": result.strategy,
+                    "ops": phase.ops,
+                    "queued_s": waited,
+                },
+            )
+            obs.metrics.counter(
+                "toss_transfer_ops_total",
+                "Operations offered to shared hardware by restores",
+            ).inc(phase.ops, resource=phase.resource)
+            obs.metrics.histogram(
+                "toss_transfer_queued_seconds",
+                "Queueing delay restores absorbed on shared resources",
+            ).observe(waited, resource=phase.resource)
 
 
 def _verify_snapshot(snapshot, injector: "faults.FaultInjector | None") -> None:
@@ -172,7 +257,9 @@ def warm_restore(
         page_versions=snapshot.page_versions,
         label=f"warm:{snapshot.label}",
     )
-    return RestoreResult(vm=vm, setup_time_s=0.0, strategy="warm", phases=())
+    return _observe_restore(
+        RestoreResult(vm=vm, setup_time_s=0.0, strategy="warm", phases=())
+    )
 
 
 def lazy_restore(
@@ -196,8 +283,14 @@ def lazy_restore(
         RestorePhase("vm-state-load", config.VM_STATE_LOAD_S),
         RestorePhase("mmap", config.MMAP_REGION_SETUP_S),
     )
-    return RestoreResult(
-        vm=vm, setup_time_s=_total_seconds(phases), strategy="lazy", phases=phases
+    return _observe_restore(
+        RestoreResult(
+            vm=vm,
+            setup_time_s=_total_seconds(phases),
+            strategy="lazy",
+            phases=phases,
+        ),
+        {"ssd": float(snapshot.n_pages * config.PAGE_SIZE)},
     )
 
 
@@ -260,14 +353,17 @@ def reap_restore(
         RestorePhase("fault-backoff", fault_stall_s),
     )
     fault_stall_s += ssd.injected_stall_s - stall_before
-    return RestoreResult(
-        vm=vm,
-        setup_time_s=_total_seconds(phases),
-        strategy="reap",
-        n_mappings=2,
-        retries=retries,
-        fault_stall_s=fault_stall_s,
-        phases=phases,
+    return _observe_restore(
+        RestoreResult(
+            vm=vm,
+            setup_time_s=_total_seconds(phases),
+            strategy="reap",
+            n_mappings=2,
+            retries=retries,
+            fault_stall_s=fault_stall_s,
+            phases=phases,
+        ),
+        {"ssd": float(snapshot.ws_bytes)},
     )
 
 
@@ -341,7 +437,7 @@ def tiered_restore(
         ),
         RestorePhase("fault-backoff", fault_stall_s),
     )
-    return RestoreResult(
+    result = RestoreResult(
         vm=vm,
         setup_time_s=_total_seconds(phases),
         strategy="toss",
@@ -351,6 +447,18 @@ def tiered_restore(
         backpressure=backpressure,
         phases=phases,
     )
+    if obs_runtime.active() is not None:
+        # The per-tier page count is a numpy scan; only pay it when an
+        # observation will consume it.
+        n_slow = int((placement == int(Tier.SLOW)).sum())
+        _observe_restore(
+            result,
+            {
+                "slow": float(n_slow * config.PAGE_SIZE),
+                "fast": float((snapshot.n_pages - n_slow) * config.PAGE_SIZE),
+            },
+        )
+    return result
 
 
 def recovering_restore(

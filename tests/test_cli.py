@@ -41,3 +41,27 @@ class TestCli:
     def test_plot_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["plot", "fig42"])
+
+    def test_observe_writes_all_exports(self, tmp_path, capsys):
+        import json
+
+        assert main(["observe", "fig1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "observed" in out and "captured" in out
+        trace = json.loads((tmp_path / "fig1.perfetto.json").read_text())
+        assert trace["traceEvents"][0]["ph"] == "M"
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        jsonl = (tmp_path / "fig1.spans.jsonl").read_text()
+        assert jsonl and json.loads(jsonl.splitlines()[0])["span_id"]
+        prom = (tmp_path / "fig1.metrics.prom").read_text()
+        assert "toss_execute_seconds_p95" in prom
+
+    def test_observe_is_inert_afterwards(self, tmp_path, capsys):
+        from repro.obs import runtime
+
+        assert main(["observe", "fig1", "--out", str(tmp_path)]) == 0
+        assert runtime.active() is None
+
+    def test_observe_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["observe", "fig42"])

@@ -67,6 +67,69 @@ class TestTelemetryLog:
         line = log.timeline()[0]
         assert "snapshot-generated" in line and "0.5" in line
 
+    def test_timeline_details_are_key_sorted(self):
+        log = TelemetryLog()
+        log.emit(
+            TelemetryEvent(
+                EventKind.REQUEST_SHED, "f", 1, {"zeta": 1, "alpha": 2}
+            )
+        )
+        line = log.timeline()[0]
+        assert line.index("alpha") < line.index("zeta")
+
+    def test_subscriber_error_ledger_is_bounded(self):
+        log = TelemetryLog(max_subscriber_errors=3)
+
+        def bad(event):
+            raise RuntimeError("always")
+
+        log.subscribe(bad)
+        for i in range(10):
+            log.emit(TelemetryEvent(EventKind.TIERED_INVOCATION, "f", i))
+        assert len(log.subscriber_errors) == 3
+        assert log.dropped_subscriber_errors == 7
+        # The oldest failures are the ones kept.
+        assert [e.invocation for e, _ in log.subscriber_errors] == [0, 1, 2]
+
+    def test_bounded_errors_never_block_delivery(self):
+        log = TelemetryLog(max_subscriber_errors=1)
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("always")
+
+        log.subscribe(bad)
+        log.subscribe(seen.append)
+        for i in range(5):
+            log.emit(TelemetryEvent(EventKind.TIERED_INVOCATION, "f", i))
+        assert len(seen) == 5
+        assert len(log.events) == 5
+
+
+class TestEventTimestampField:
+    def test_at_s_promoted_from_detail(self):
+        event = TelemetryEvent(
+            EventKind.REQUEST_SHED, "f", 1, {"at_s": 2.5, "reason": "x"}
+        )
+        assert event.at_s == 2.5
+
+    def test_field_mirrored_into_detail_for_one_release(self):
+        event = TelemetryEvent(EventKind.BREAKER_TRANSITION, "f", 1, at_s=4.25)
+        # Deprecated location still served during the transition release.
+        assert event.detail["at_s"] == 4.25
+
+    def test_no_timestamp_stays_none(self):
+        event = TelemetryEvent(EventKind.TIERED_INVOCATION, "f", 1)
+        assert event.at_s is None
+        assert "at_s" not in event.detail
+
+    def test_field_wins_over_detail_when_both_given(self):
+        event = TelemetryEvent(
+            EventKind.REQUEST_SHED, "f", 1, {"at_s": 9.0}, at_s=1.0
+        )
+        assert event.at_s == 1.0
+        assert event.detail["at_s"] == 9.0  # detail copy untouched
+
 
 class TestControllerIntegration:
     def test_lifecycle_events_emitted(self, tiny_function):

@@ -1,0 +1,190 @@
+"""Exporter round-trips: Perfetto schema, JSONL reload, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanStatus,
+    Tracer,
+    perfetto_json,
+    prometheus_text,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    to_perfetto,
+)
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("restore/toss", attrs={"n_mappings": 3}):
+        tracer.record("restore/toss/vm-state", 0.005)
+        tracer.record("restore/toss/mmap", 0.001)
+        tracer.event("telemetry/tiered-invocation", attrs={"input_index": 2})
+    tracer.record("execute", 0.25, status=SpanStatus.OK)
+    tracer.event("telemetry/request-shed", at_s=0.3, attrs={"reason": "deadline"})
+    return tracer
+
+
+class TestPerfetto:
+    def test_schema_fields(self):
+        trace = to_perfetto(sample_tracer())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"  # process_name metadata first
+        for ev in events:
+            assert ev["ph"] in {"M", "X", "i"}
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            assert "ts" in ev
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+                assert "name" in ev and "cat" in ev
+
+    def test_timestamps_are_microseconds(self):
+        trace = to_perfetto(sample_tracer())
+        mmap = next(
+            e for e in trace["traceEvents"] if e["name"] == "restore/toss/mmap"
+        )
+        assert mmap["ts"] == 0.005 * 1e6
+        assert mmap["dur"] == 0.001 * 1e6
+
+    def test_parent_links_exported(self):
+        trace = to_perfetto(sample_tracer())
+        root = next(
+            e for e in trace["traceEvents"] if e["name"] == "restore/toss"
+        )
+        child = next(
+            e for e in trace["traceEvents"] if e["name"] == "restore/toss/mmap"
+        )
+        assert child["args"]["parent_id"] == root["args"]["span_id"]
+
+    def test_orphan_events_are_process_instants(self):
+        trace = to_perfetto(sample_tracer())
+        shed = next(
+            e
+            for e in trace["traceEvents"]
+            if e["name"] == "telemetry/request-shed"
+        )
+        assert shed["ph"] == "i" and shed["s"] == "p" and shed["tid"] == 0
+
+    def test_concurrent_roots_get_distinct_lanes(self):
+        tracer = Tracer()
+        tracer.record("a", 2.0, start_s=0.0)
+        tracer.seek(1.0)
+        tracer.record("b", 2.0, start_s=1.0)  # overlaps a
+        tracer.record("c", 1.0, start_s=3.0)  # fits a's freed lane
+        trace = to_perfetto(tracer)
+        tids = {
+            e["name"]: e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert tids["a"] != tids["b"]
+        assert tids["c"] == tids["a"]
+
+    def test_json_is_deterministic_and_parseable(self):
+        a = perfetto_json(sample_tracer())
+        b = perfetto_json(sample_tracer())
+        assert a == b
+        json.loads(a)
+
+
+class TestJsonl:
+    def test_round_trip_equality(self):
+        tracer = sample_tracer()
+        reloaded = spans_from_jsonl(spans_to_jsonl(tracer))
+        assert reloaded == tracer.finished()
+
+    def test_empty_tracer_round_trips(self):
+        assert spans_from_jsonl(spans_to_jsonl(Tracer())) == []
+
+    def test_one_json_object_per_line(self):
+        text = spans_to_jsonl(sample_tracer())
+        lines = text.strip().splitlines()
+        assert len(lines) == len(sample_tracer().spans)
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+
+PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, str], float]:
+    """Minimal exposition-format parser: (name, labels) -> value."""
+    out: dict[tuple[str, str], float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = PROM_SAMPLE.match(line)
+        assert m is not None, f"unparseable sample line: {line!r}"
+        out[(m.group("name"), m.group("labels") or "")] = float(m.group("value"))
+    return out
+
+
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("toss_restore_bytes_total", "bytes").inc(
+        4096.0, strategy="toss", tier="slow"
+    )
+    lat = reg.histogram("toss_restore_setup_seconds", "setup")
+    for v in (0.004, 0.006, 0.02):
+        lat.observe(v, strategy="toss")
+    reg.gauge("toss_resource_inflation", "rho").set(1.25, resource="ssd")
+    return reg
+
+
+class TestPrometheus:
+    def test_every_sample_line_parses(self):
+        samples = parse_prometheus(prometheus_text(sample_registry()))
+        assert samples[
+            ("toss_restore_bytes_total", 'strategy="toss",tier="slow"')
+        ] == 4096.0
+        assert samples[("toss_resource_inflation", 'resource="ssd"')] == 1.25
+
+    def test_histogram_series_complete_and_cumulative(self):
+        text = prometheus_text(sample_registry())
+        samples = parse_prometheus(text)
+        buckets = [
+            v
+            for (name, labels), v in samples.items()
+            if name == "toss_restore_setup_seconds_bucket"
+        ]
+        assert buckets == sorted(buckets)  # cumulative counts never drop
+        assert samples[
+            ("toss_restore_setup_seconds_count", 'strategy="toss"')
+        ] == 3
+        assert samples[
+            ("toss_restore_setup_seconds_sum", 'strategy="toss"')
+        ] == 0.03
+        inf = [
+            v
+            for (name, labels), v in samples.items()
+            if name == "toss_restore_setup_seconds_bucket" and 'le="+Inf"' in labels
+        ]
+        assert inf == [3]
+
+    def test_derived_quantile_series(self):
+        samples = parse_prometheus(prometheus_text(sample_registry()))
+        for suffix in ("p50", "p95", "p99"):
+            key = (f"toss_restore_setup_seconds_{suffix}", 'strategy="toss"')
+            assert key in samples
+            assert samples[key] > 0.0
+
+    def test_help_and_type_lines(self):
+        text = prometheus_text(sample_registry())
+        assert "# TYPE toss_restore_bytes_total counter" in text
+        assert "# TYPE toss_restore_setup_seconds histogram" in text
+        assert "# TYPE toss_resource_inflation gauge" in text
+
+    def test_deterministic(self):
+        assert prometheus_text(sample_registry()) == prometheus_text(
+            sample_registry()
+        )
+
+    def test_empty_registry_is_empty_text(self):
+        assert prometheus_text(MetricsRegistry()) == ""

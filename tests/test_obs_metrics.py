@@ -1,0 +1,120 @@
+"""Tests for the metrics registry (:mod:`repro.obs.metrics`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value_per_labelset(self):
+        c = Counter("hits", "")
+        c.inc(tier="fast")
+        c.inc(2.0, tier="fast")
+        c.inc(tier="slow")
+        assert c.value(tier="fast") == 3.0
+        assert c.value(tier="slow") == 1.0
+        assert c.value(tier="missing") == 0.0
+
+    def test_label_order_is_canonical(self):
+        c = Counter("hits", "")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_decrease_rejected(self):
+        with pytest.raises(ConfigError):
+            Counter("hits", "").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("rho", "")
+        g.set(0.5, resource="ssd")
+        g.set(0.9, resource="ssd")
+        assert g.value(resource="ssd") == 0.9
+        assert g.value(resource="uffd") == 0.0
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 10.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 15.0
+
+    def test_bucket_assignment_including_inf(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(2.0)  # boundary lands in its bucket (le semantics)
+        h.observe(99.0)  # +Inf bucket
+        (sample,) = h.samples.values()
+        assert sample.counts == [1, 1, 1]
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram("lat", "").quantile(0.95) == 0.0
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(1.5)
+        # All mass in (1, 2]: the median interpolates inside that bucket.
+        assert 1.0 < h.quantile(0.5) <= 2.0
+
+    def test_quantile_inf_clamps_to_top_bound(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("lat", "").quantile(1.5)
+
+    def test_summary_keys(self):
+        h = Histogram("lat", "")
+        h.observe(0.01)
+        assert set(h.summary()) == {"p50", "p95", "p99"}
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("lat", "", buckets=(2.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("lat", "", buckets=())
+
+    def test_labelled_samples_are_independent(self):
+        h = Histogram("lat", "")
+        h.observe(0.1, strategy="toss")
+        h.observe(0.2, strategy="reap")
+        assert h.count(strategy="toss") == 1
+        assert h.sum(strategy="reap") == 0.2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+    def test_families_in_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        reg.histogram("c")
+        assert [f.name for f in reg.families()] == ["b", "a", "c"]
+
+    def test_get_by_name(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert reg.get("lat") is h
+        assert reg.get("nope") is None
