@@ -105,7 +105,7 @@ def test_chaos_burst_scenario_holds_floor(benchmark, emit):
     )
     transitions = [
         f"{e.detail['from_state']}->{e.detail['to_state']}"
-        f" @{e.detail['at_s']:.3f}s"
+        f" @{e.at_s:.3f}s"
         for e in telemetry.of_kind(EventKind.HEALTH_TRANSITION)
     ]
     lines = [

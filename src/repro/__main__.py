@@ -148,6 +148,37 @@ def main(argv: list[str] | None = None) -> int:
         default="results/obs",
         help="output directory (default results/obs)",
     )
+    bench = sub.add_parser(
+        "bench", help="time the hot experiment kernels and write a report"
+    )
+    bench.add_argument(
+        "--filter",
+        default="",
+        dest="filter_expr",
+        metavar="NAME",
+        help="only kernels whose name or tags contain NAME (e.g. 'smoke')",
+    )
+    bench.add_argument(
+        "--out", default=None, help="write the toss-bench/v1 JSON report here"
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_*.json to embed/compare medians against",
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=1, help="untimed runs per kernel"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per kernel"
+    )
+    bench.add_argument(
+        "--check",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="fail (exit 1) if NAME regresses >1.5x its baseline median",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -205,6 +236,41 @@ def main(argv: list[str] | None = None) -> int:
         )
         for path in (perfetto, jsonl, prom):
             print(f"wrote {path}")
+        return 0
+    if args.command == "bench":
+        from .bench import kernels_matching, run_benchmarks, write_report
+        from .bench.harness import compare_to_baseline, load_baseline
+
+        kernels = kernels_matching(args.filter_expr)
+        if not kernels:
+            parser.error(f"no benchmarks match {args.filter_expr!r}")
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        report = run_benchmarks(
+            kernels,
+            warmup=args.warmup,
+            repeats=args.repeats,
+            filter_expr=args.filter_expr,
+            baseline=baseline,
+            progress=print,
+        )
+        for rec in report.records:
+            speedup = report.speedup(rec.name)
+            vs = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
+            print(
+                f"{rec.name:<24s} median {rec.wall_median_s:8.3f}s  "
+                f"{rec.ops_per_s:10.1f} ops/s  "
+                f"peak rss {rec.peak_rss_mb:7.1f} MB{vs}"
+            )
+        if args.out:
+            print(f"wrote {write_report(report, args.out)}")
+        if args.check:
+            failures = compare_to_baseline(
+                report, baseline or {}, names=args.check
+            )
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=sys.stderr)
+            if failures:
+                return 1
         return 0
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names

@@ -1,0 +1,35 @@
+"""Tracked performance benchmarks (the ``python -m repro bench`` harness).
+
+Every PR leaves a perf trajectory: the harness times the expensive
+experiment kernels (Figure 9 at C∈{100, 1000}, the fleet study, DAMON
+profiling of the Table I suite, contention fixed-point solves) with
+warmup/repeat/median-of-k discipline and writes a schema'd JSON
+(``BENCH_<n>.json``) recording per-benchmark wall time, peak RSS and
+throughput.  CI's ``bench-smoke`` job replays the smoke subset against
+the committed baseline and fails on a >1.5x regression of the fig9
+C=1000 kernel — the same regression-tracked-measurement discipline
+Ustiugov et al. (ASPLOS'21) show snapshot-system conclusions need.
+"""
+
+from .harness import (
+    SCHEMA_VERSION,
+    BenchKernel,
+    BenchRecord,
+    BenchReport,
+    compare_to_baseline,
+    run_benchmarks,
+    write_report,
+)
+from .kernels import KERNELS, kernels_matching
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchKernel",
+    "BenchRecord",
+    "BenchReport",
+    "KERNELS",
+    "compare_to_baseline",
+    "kernels_matching",
+    "run_benchmarks",
+    "write_report",
+]

@@ -1,0 +1,289 @@
+"""Benchmark execution, measurement discipline, and the JSON schema.
+
+A :class:`BenchKernel` is a named, tagged unit of work: ``setup()`` runs
+once (untimed) and returns the kernel's working state; ``run(state)``
+is the timed body.  The harness runs ``warmup`` untimed iterations,
+then ``repeats`` timed ones, and reports the median — one slow outlier
+on a cold cache or a noisy CI runner does not move the recorded number.
+
+The report schema (``toss-bench/v1``)::
+
+    {
+      "schema": "toss-bench/v1",
+      "created_unix": 1754000000,
+      "python": "3.11.7", "platform": "Linux-...",
+      "config": {"warmup": 1, "repeats": 3, "filter": "smoke"},
+      "benchmarks": {
+        "<name>": {
+          "tags": ["smoke", ...],
+          "wall_s": {"median": ..., "min": ..., "max": ..., "runs": [...]},
+          "peak_rss_mb": ...,      # process high-water mark after the run
+          "ops": ...,              # kernel-defined work units per run
+          "ops_per_s": ...         # ops / median wall_s
+        }, ...
+      },
+      "baseline": { "<name>": {"wall_s_median": ...}, ... }   # optional
+    }
+
+``baseline`` embeds the pre-change medians a speedup claim is made
+against; :func:`compare_to_baseline` turns the pair into pass/fail for
+CI's regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_mod
+import resource
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchKernel",
+    "BenchRecord",
+    "BenchReport",
+    "compare_to_baseline",
+    "run_benchmarks",
+    "write_report",
+]
+
+SCHEMA_VERSION = "toss-bench/v1"
+
+
+@dataclass(frozen=True)
+class BenchKernel:
+    """One named benchmark: untimed setup, timed body, work-unit count."""
+
+    name: str
+    description: str
+    setup: Callable[[], Any]
+    run: Callable[[Any], Any]
+    ops: int
+    """Work units one ``run`` performs (invocations, profiles, solves);
+    reported as ``ops_per_s`` against the median wall time."""
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("benchmark kernels need a name")
+        if self.ops < 1:
+            raise ConfigError(f"{self.name}: ops must be >= 1")
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Measured result of one kernel."""
+
+    name: str
+    tags: tuple[str, ...]
+    wall_runs_s: tuple[float, ...]
+    peak_rss_mb: float
+    ops: int
+
+    @property
+    def wall_median_s(self) -> float:
+        return float(statistics.median(self.wall_runs_s))
+
+    @property
+    def ops_per_s(self) -> float:
+        median = self.wall_median_s
+        return self.ops / median if median > 0 else float("inf")
+
+    def to_json(self) -> dict:
+        return {
+            "tags": list(self.tags),
+            "wall_s": {
+                "median": self.wall_median_s,
+                "min": min(self.wall_runs_s),
+                "max": max(self.wall_runs_s),
+                "runs": list(self.wall_runs_s),
+            },
+            "peak_rss_mb": self.peak_rss_mb,
+            "ops": self.ops,
+            "ops_per_s": self.ops_per_s,
+        }
+
+
+@dataclass
+class BenchReport:
+    """A full harness run, serialisable to the ``toss-bench/v1`` schema."""
+
+    records: list[BenchRecord]
+    warmup: int
+    repeats: int
+    filter_expr: str = ""
+    baseline: dict[str, float] = field(default_factory=dict)
+    """Pre-change median wall seconds per benchmark name (optional)."""
+
+    def record(self, name: str) -> BenchRecord:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        raise KeyError(f"no benchmark record {name!r}")
+
+    def speedup(self, name: str) -> float | None:
+        """Baseline-median / current-median (>1 means faster now)."""
+        base = self.baseline.get(name)
+        if base is None:
+            return None
+        return base / self.record(name).wall_median_s
+
+    def to_json(self) -> dict:
+        doc: dict = {
+            "schema": SCHEMA_VERSION,
+            "created_unix": int(time.time()),
+            "python": platform_mod.python_version(),
+            "platform": platform_mod.platform(),
+            "config": {
+                "warmup": self.warmup,
+                "repeats": self.repeats,
+                "filter": self.filter_expr,
+            },
+            "benchmarks": {rec.name: rec.to_json() for rec in self.records},
+        }
+        if self.baseline:
+            doc["baseline"] = {
+                name: {"wall_s_median": median}
+                for name, median in sorted(self.baseline.items())
+            }
+            speedups = {
+                rec.name: self.speedup(rec.name)
+                for rec in self.records
+                if rec.name in self.baseline
+            }
+            doc["speedup_vs_baseline"] = {
+                name: round(value, 3)
+                for name, value in speedups.items()
+                if value is not None
+            }
+        return doc
+
+
+def _peak_rss_mb() -> float:
+    """Process RSS high-water mark in MB (ru_maxrss is KB on Linux)."""
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        return peak_kb / (1024 * 1024)
+    return peak_kb / 1024
+
+
+def run_benchmarks(
+    kernels: Sequence[BenchKernel],
+    *,
+    warmup: int = 1,
+    repeats: int = 3,
+    filter_expr: str = "",
+    baseline: dict[str, float] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Time ``kernels`` with warmup/repeat/median-of-k discipline."""
+    if warmup < 0:
+        raise ConfigError("warmup must be non-negative")
+    if repeats < 1:
+        raise ConfigError("need at least one timed repeat")
+    records: list[BenchRecord] = []
+    for kernel in kernels:
+        if progress is not None:
+            progress(f"[bench] {kernel.name}: setup")
+        state = kernel.setup()
+        for i in range(warmup):
+            if progress is not None:
+                progress(f"[bench] {kernel.name}: warmup {i + 1}/{warmup}")
+            kernel.run(state)
+        runs: list[float] = []
+        for i in range(repeats):
+            start = time.perf_counter()
+            kernel.run(state)
+            elapsed = time.perf_counter() - start
+            runs.append(elapsed)
+            if progress is not None:
+                progress(
+                    f"[bench] {kernel.name}: run {i + 1}/{repeats} "
+                    f"{elapsed:.3f}s"
+                )
+        records.append(
+            BenchRecord(
+                name=kernel.name,
+                tags=kernel.tags,
+                wall_runs_s=tuple(runs),
+                peak_rss_mb=round(_peak_rss_mb(), 1),
+                ops=kernel.ops,
+            )
+        )
+    return BenchReport(
+        records=records,
+        warmup=warmup,
+        repeats=repeats,
+        filter_expr=filter_expr,
+        baseline=dict(baseline or {}),
+    )
+
+
+def write_report(report: BenchReport, path: str | Path) -> Path:
+    """Serialise a report to ``path`` (pretty-printed, trailing newline)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report.to_json(), indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def load_baseline(path: str | Path) -> dict[str, float]:
+    """Median wall seconds per benchmark from a committed report.
+
+    Prefers the report's own measurements (``benchmarks``); a report
+    that only embeds a ``baseline`` section contributes those instead.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}: schema {doc.get('schema')!r} is not {SCHEMA_VERSION!r}"
+        )
+    medians: dict[str, float] = {}
+    for name, entry in doc.get("benchmarks", {}).items():
+        medians[name] = float(entry["wall_s"]["median"])
+    for name, entry in doc.get("baseline", {}).items():
+        medians.setdefault(name, float(entry["wall_s_median"]))
+    return medians
+
+
+def compare_to_baseline(
+    report: BenchReport,
+    baseline_medians: dict[str, float],
+    *,
+    max_regression: float = 1.5,
+    names: Sequence[str] | None = None,
+) -> list[str]:
+    """Regression check for CI: returns human-readable failures.
+
+    A benchmark fails when its median wall time exceeds
+    ``max_regression`` times the baseline median.  ``names`` restricts
+    the gate to specific benchmarks (default: every benchmark present
+    in both the report and the baseline).
+    """
+    if max_regression <= 0:
+        raise ConfigError("max_regression must be positive")
+    failures: list[str] = []
+    gate = set(names) if names is not None else None
+    for rec in report.records:
+        if gate is not None and rec.name not in gate:
+            continue
+        base = baseline_medians.get(rec.name)
+        if base is None:
+            if gate is not None:
+                failures.append(f"{rec.name}: no baseline median recorded")
+            continue
+        budget = base * max_regression
+        if rec.wall_median_s > budget:
+            failures.append(
+                f"{rec.name}: median {rec.wall_median_s:.3f}s exceeds "
+                f"{max_regression:.2f}x baseline ({base:.3f}s -> budget "
+                f"{budget:.3f}s)"
+            )
+    return failures

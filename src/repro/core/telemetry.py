@@ -40,10 +40,10 @@ class TelemetryEvent:
 
     ``at_s`` is the simulated timestamp of the milestone, when the
     emitter knows one (the event-driven platform always stamps its
-    shed/breaker/health events).  For one release it is mirrored into
-    ``detail["at_s"]`` — the pre-promotion location — so existing
-    consumers keep working; read the field, the detail copy is
-    deprecated.
+    shed/breaker/health events).  It lives only on the field: the
+    transition-release mirror into ``detail["at_s"]`` is gone, and
+    passing a timestamp through ``detail`` is rejected so stragglers
+    fail loudly instead of silently dropping their timestamps.
     """
 
     kind: EventKind
@@ -53,13 +53,10 @@ class TelemetryEvent:
     at_s: float | None = None
 
     def __post_init__(self) -> None:
-        if self.at_s is None and "at_s" in self.detail:
-            object.__setattr__(self, "at_s", float(self.detail["at_s"]))
-        elif self.at_s is not None and "at_s" not in self.detail:
-            # Backward compatibility (one release): emitters that set the
-            # field still expose the timestamp where consumers used to
-            # find it.
-            self.detail["at_s"] = self.at_s
+        if "at_s" in self.detail:
+            raise ValueError(
+                "pass the timestamp as the at_s field, not in detail"
+            )
 
 
 class TelemetryLog:

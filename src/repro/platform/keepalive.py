@@ -91,11 +91,15 @@ class KeepAliveCache:
         """
         if fast_mb <= 0 or init_cost_s < 0:
             raise SchedulerError("admission needs positive size, non-negative cost")
+        # Re-admission after a re-profiling cycle must bill the *current*
+        # footprint, not the one frozen at first admission — remove the
+        # stale entry (keeping its frequency) and run the normal flow so
+        # a grown footprint re-competes for capacity.
+        existing = self._entries.pop(name, None)
+        frequency = existing.frequency if existing is not None else 1
         if fast_mb > self.capacity_mb:
             return False
-        if name in self._entries:
-            return True
-        priority = self._clock + init_cost_s / fast_mb
+        priority = self._clock + frequency * init_cost_s / fast_mb
         while self.used_mb + fast_mb > self.capacity_mb:
             victim = min(self._entries.values(), key=lambda e: e.priority)
             if victim.priority > priority:
@@ -108,6 +112,7 @@ class KeepAliveCache:
             fast_mb=fast_mb,
             init_cost_s=init_cost_s,
             priority=priority,
+            frequency=frequency,
         )
         return True
 

@@ -49,6 +49,11 @@ class ArrivalPredictor:
             return None
         return self._last_arrival + self._ewma_gap
 
+    @property
+    def last_arrival(self) -> float | None:
+        """Time of the most recently observed arrival."""
+        return self._last_arrival
+
 
 @dataclass
 class PrewarmPolicy:
@@ -91,12 +96,20 @@ class PrewarmPolicy:
             return False
         predictor = self.predictors.get(name)
         predicted = predictor.predict_next() if predictor else None
-        if predicted is None:
+        if predictor is None or predicted is None:
+            self.misses += 1
+            return False
+        # The horizon is the prediction's lead time from the last arrival
+        # actually observed — how far ahead the platform would have to
+        # commit speculative memory.  (Comparing against the arrival being
+        # judged would always yield ~0 and never suppress anything.)
+        last = predictor.last_arrival
+        if last is None or predicted - last > self.horizon_s:
             self.misses += 1
             return False
         launch = predicted - self.margin_s
         ready = launch + setup_time_s
-        hidden = ready <= arrival_s and predicted - arrival_s <= self.horizon_s
+        hidden = ready <= arrival_s
         if hidden:
             self.hits += 1
         else:

@@ -23,6 +23,7 @@ lower layers directly.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, replace
 
 from .. import config, faults as faults_mod
@@ -70,7 +71,7 @@ class FunctionDeployment:
     invocations: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestLogEntry:
     """One served request."""
 
@@ -275,7 +276,12 @@ class ServerlessPlatform:
         outstanding_leases: dict[object, tuple[float, str]] = {}
 
         def defer_emit(
-            when_s: float, kind: EventKind, function: str, invocation: int, **detail
+            when_s: float,
+            kind: EventKind,
+            function: str,
+            invocation: int,
+            at_s: float | None = None,
+            **detail,
         ) -> None:
             """Emit telemetry as an event at ``when_s`` (now, if already past).
 
@@ -286,7 +292,9 @@ class ServerlessPlatform:
                 return
 
             def _fire(_now: float) -> None:
-                self._emit_platform_event(kind, function, invocation, **detail)
+                self._emit_platform_event(
+                    kind, function, invocation, at_s=at_s, **detail
+                )
 
             loop.schedule_at(
                 max(float(when_s), loop.now),
@@ -629,19 +637,22 @@ class ServerlessPlatform:
                                 defer_emit, name, old, new, why, finish
                             )
 
-        for arrival, name, input_index, req_class in normalized:
+        # One shared callback drains the (sorted) request list instead of
+        # one closure per request: arrival events fire in (time, seq)
+        # order, and seq order is insertion order, so the pop sequence
+        # matches the firing sequence exactly.
+        pending_arrivals = deque(normalized)
 
-            def _fire(
-                _now: float,
-                a: float = arrival,
-                n: str = name,
-                i: int = input_index,
-                c: RequestClass = req_class,
-            ) -> None:
-                handle_arrival(a, n, i, c)
+        def _next_arrival(_now: float) -> None:
+            arrival, name, input_index, req_class = pending_arrivals.popleft()
+            handle_arrival(arrival, name, input_index, req_class)
 
+        for arrival, _, _, _ in normalized:
             loop.schedule_at(
-                arrival, _fire, priority=PRIORITY_ARRIVAL, category="arrival"
+                arrival,
+                _next_arrival,
+                priority=PRIORITY_ARRIVAL,
+                category="arrival",
             )
         # Stop once the last arrival has been decided: leases that expire
         # past the batch must survive into the next serve() call.
@@ -794,7 +805,12 @@ class ServerlessPlatform:
         )
 
     def _emit_platform_event(
-        self, kind: EventKind, function: str, invocation: int, **detail
+        self,
+        kind: EventKind,
+        function: str,
+        invocation: int,
+        at_s: float | None = None,
+        **detail,
     ) -> None:
         if self.telemetry is not None:
             self.telemetry.emit(
@@ -803,16 +819,17 @@ class ServerlessPlatform:
                     function=function,
                     invocation=invocation,
                     detail=detail,
+                    at_s=at_s,
                 )
             )
         obs = obs_runtime.active()
         if obs is not None:
             # Deferred emissions fire between requests (empty span stack),
             # so these land as trace-level instants in the export.
-            obs.tracer.event(
-                f"telemetry/{kind.value}",
-                attrs={"function": function, "invocation": invocation, **detail},
-            )
+            attrs = {"function": function, "invocation": invocation, **detail}
+            if at_s is not None:
+                attrs["at_s"] = at_s
+            obs.tracer.event(f"telemetry/{kind.value}", attrs=attrs)
 
     # -- keep-alive integration ----------------------------------------------------
 

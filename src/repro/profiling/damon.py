@@ -75,10 +75,32 @@ class DamonSnapshot:
 
     def page_values(self) -> np.ndarray:
         """Expand to a dense per-page observed-access array."""
+        if self.regions and self._is_exact_partition():
+            sizes = np.fromiter(
+                (r.n_pages for r in self.regions),
+                dtype=np.int64,
+                count=len(self.regions),
+            )
+            values = np.fromiter(
+                (r.value for r in self.regions),
+                dtype=np.float64,
+                count=len(self.regions),
+            )
+            return np.repeat(values, sizes)
         out = np.zeros(self.n_pages, dtype=np.float64)
         for region in self.regions:
             out[region.start_page : region.end_page] = region.value
         return out
+
+    def _is_exact_partition(self) -> bool:
+        """Whether regions tile [0, n_pages) contiguously (the profiler
+        always emits such snapshots; hand-built ones may not)."""
+        cursor = 0
+        for region in self.regions:
+            if region.start_page != cursor:
+                return False
+            cursor += region.n_pages
+        return cursor == self.n_pages
 
     @property
     def observed_pages(self) -> int:
@@ -119,13 +141,14 @@ class DamonProfiler:
 
     def region_list(self, values: np.ndarray | None = None) -> list[Region]:
         """Current regions, optionally annotated with values."""
-        out = []
-        for i in range(self.n_regions):
-            start = int(self._bounds[i])
-            n = int(self._bounds[i + 1] - start)
-            v = float(values[i]) if values is not None else 0.0
-            out.append(Region(start, n, v))
-        return out
+        starts = self._bounds[:-1].tolist()
+        sizes = np.diff(self._bounds).tolist()
+        if values is None:
+            return [Region(s, n, 0.0) for s, n in zip(starts, sizes)]
+        annotated = np.asarray(values, dtype=np.float64).tolist()
+        return [
+            Region(s, n, v) for s, n, v in zip(starts, sizes, annotated)
+        ]
 
     # -- profiling ------------------------------------------------------------
 
@@ -142,18 +165,25 @@ class DamonProfiler:
         for epoch in epochs:
             values, samples = self._aggregate(epoch)
             # Spread this window's counters onto pages before adapting, so
-            # the output is independent of later boundary moves.
-            for i in range(self.n_regions):
-                s, e = int(self._bounds[i]), int(self._bounds[i + 1])
-                total[s:e] += values[i]
+            # the output is independent of later boundary moves.  Each page
+            # receives exactly its region's value, so the repeat-add is
+            # bit-identical to the per-region slice adds it replaces.
+            total += np.repeat(values, np.diff(self._bounds))
             total_samples += samples
             self._adapt(values, samples)
         # Re-encode the accumulated per-page observations as regions using
         # the final boundaries (what the exported DAMON file contains).
-        regions = []
-        for i in range(self.n_regions):
-            s, e = int(self._bounds[i]), int(self._bounds[i + 1])
-            regions.append(Region(s, e - s, float(total[s:e].mean())))
+        # ``total`` holds sums of integer binomial counts (exact in
+        # float64), so the segment sums — and hence the means — match the
+        # per-slice ``.mean()`` loop exactly.
+        sizes = np.diff(self._bounds)
+        means = np.add.reduceat(total, self._bounds[:-1]) / sizes
+        regions = [
+            Region(s, n, v)
+            for s, n, v in zip(
+                self._bounds[:-1].tolist(), sizes.tolist(), means.tolist()
+            )
+        ]
         return DamonSnapshot(
             n_pages=self.n_pages, regions=tuple(regions), samples=total_samples
         )
@@ -164,13 +194,31 @@ class DamonProfiler:
         """One aggregation window: per-region nr_accesses estimates."""
         duration = max(epoch.duration_s, self.cfg.sampling_interval_s)
         samples = max(1, int(round(duration / self.cfg.sampling_interval_s)))
-        # Per-page probability of being seen accessed in one interval.
+        # Per-page probability of being seen accessed in one interval,
+        # computed in-place: each step is the same IEEE operation sequence
+        # as the old expression chain (``a*(-b)`` is an exact sign flip of
+        # ``(-a)*b``), just without the intermediate arrays.
         sizes = np.diff(self._bounds).astype(np.float64)
         if epoch.pages.size:
-            rates = epoch.counts * self.cfg.access_bit_scale / duration
-            p_page = -np.expm1(-rates * self.cfg.sampling_interval_s)
-            idx = np.searchsorted(self._bounds, epoch.pages, side="right") - 1
-            p_sum = np.bincount(idx, weights=p_page, minlength=self.n_regions)
+            p_page = epoch.counts * self.cfg.access_bit_scale
+            np.divide(p_page, duration, out=p_page)
+            np.multiply(p_page, -self.cfg.sampling_interval_s, out=p_page)
+            np.expm1(p_page, out=p_page)
+            np.negative(p_page, out=p_page)
+            # Epoch pages are validated monotonic, so region membership is
+            # a boundary search over the *bounds* (O(R log P)) instead of
+            # a per-page search (O(P log R)), and the per-region sums are
+            # segment reductions.  Both bincount and reduceat accumulate
+            # in page order, so the sums are bit-identical.
+            pos = np.searchsorted(epoch.pages, self._bounds)
+            nonempty = pos[:-1] < pos[1:]
+            p_sum = np.zeros(self.n_regions)
+            if nonempty.any():
+                # Empty regions are skipped: each reduceat segment then
+                # runs to the next non-empty start, which coincides with
+                # the true segment end because the skipped regions
+                # contribute no pages.
+                p_sum[nonempty] = np.add.reduceat(p_page, pos[:-1][nonempty])
         else:
             p_sum = np.zeros(self.n_regions)
         p_region = np.clip(p_sum / sizes, 0.0, 1.0)
@@ -185,35 +233,45 @@ class DamonProfiler:
         to a truly idle one keeps its boundary even when another part of
         the address space is orders of magnitude hotter.
         """
-        bounds = self._bounds
+        # Scalar work on Python floats/ints: the merge recurrence is
+        # inherently sequential (each decision reads the previous merge's
+        # propagated value), and Python-native arithmetic is IEEE-identical
+        # to the numpy-scalar loop it replaces while being ~10x faster.
+        bounds = self._bounds.tolist()
+        vals = values.tolist()
+        merge_threshold = self.cfg.merge_threshold
         # Merge pass: drop interior boundaries between similar regions.
         keep = [0]
         for i in range(1, len(bounds) - 1):
-            pair_scale = max(values[i], values[i - 1])
-            threshold = max(1.0, self.cfg.merge_threshold * pair_scale)
-            if abs(values[i] - values[i - 1]) > threshold:
+            left = vals[i - 1]
+            right = vals[i]
+            pair_scale = left if left > right else right
+            threshold = max(1.0, merge_threshold * pair_scale)
+            if abs(right - left) > threshold:
                 keep.append(i)
             else:
                 # Region i merges into i-1; propagate the weighted value so
                 # chains of similar regions merge transitively.
                 left_pages = bounds[i] - bounds[keep[-1]]
                 right_pages = bounds[i + 1] - bounds[i]
-                values[i] = (
-                    values[i - 1] * left_pages + values[i] * right_pages
-                ) / (left_pages + right_pages)
+                vals[i] = (left * left_pages + right * right_pages) / (
+                    left_pages + right_pages
+                )
         keep.append(len(bounds) - 1)
-        bounds = bounds[np.asarray(keep, dtype=np.int64)]
+        merged = [bounds[k] for k in keep]
 
         # Split pass: halve regions at a random point while under the cap.
-        new_bounds = [int(bounds[0])]
-        budget = self.cfg.max_nr_regions - (len(bounds) - 1)
-        for i in range(len(bounds) - 1):
-            start, end = int(bounds[i]), int(bounds[i + 1])
+        min_pages = self.cfg.min_region_pages
+        rng = self.rng
+        new_bounds = [merged[0]]
+        budget = self.cfg.max_nr_regions - (len(merged) - 1)
+        for i in range(len(merged) - 1):
+            start, end = merged[i], merged[i + 1]
             size = end - start
-            if budget > 0 and size >= 2 * self.cfg.min_region_pages:
-                lo = start + self.cfg.min_region_pages
-                hi = end - self.cfg.min_region_pages
-                cut = int(self.rng.integers(lo, hi + 1)) if hi >= lo else None
+            if budget > 0 and size >= 2 * min_pages:
+                lo = start + min_pages
+                hi = end - min_pages
+                cut = int(rng.integers(lo, hi + 1)) if hi >= lo else None
                 if cut is not None and start < cut < end:
                     new_bounds.append(cut)
                     budget -= 1

@@ -220,23 +220,24 @@ class EventScheduler:
                     )
                 )
 
-        def start(demand: TierDemand, t: float) -> None:
-            work = demand._stalls_and_work()
-            for r in RESOURCES:
-                active_rate[r] += work[r][1] / max(t, 1e-12)
-
-        def finish(demand: TierDemand, t: float) -> None:
+        def finish(delta: dict[str, float], t: float) -> None:
             def _fire(_now: float) -> None:
-                work = demand._stalls_and_work()
                 for r in RESOURCES:
-                    active_rate[r] -= work[r][1] / max(t, 1e-12)
+                    active_rate[r] -= delta[r]
                 sample(_now)
 
             loop.schedule_at(t, _fire)
 
+        # One rate-delta dict per demand, applied at start and reversed at
+        # finish — the same division both times, so the replayed rho
+        # trajectory is unchanged while the per-demand dict rebuilds go.
         for demand, t in zip(demands, times):
-            start(demand, t)
-            finish(demand, t)
+            work = demand._stalls_and_work()
+            denom = max(t, 1e-12)
+            delta = {r: work[r][1] / denom for r in RESOURCES}
+            for r in RESOURCES:
+                active_rate[r] += delta[r]
+            finish(delta, t)
         sample(loop.now)
         loop.run()
         return tuple(samples)

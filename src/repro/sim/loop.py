@@ -119,7 +119,7 @@ class Process:
             raise ConfigError(f"process {self.name!r} yielded {command!r}")
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Entry:
     time: float
     priority: int

@@ -14,11 +14,14 @@ yield different access patterns).
 from .events import AccessEpoch, InvocationTrace
 from .synth import Band, banded_histogram, zipf_histogram, uniform_histogram
 from .allocator import GuestAllocator
+from .cache import TraceCache, shared_trace_cache
 from .io import save_trace, load_trace, trace_from_csv, trace_to_csv
 
 __all__ = [
     "AccessEpoch",
     "InvocationTrace",
+    "TraceCache",
+    "shared_trace_cache",
     "Band",
     "banded_histogram",
     "zipf_histogram",

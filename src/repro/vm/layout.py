@@ -105,10 +105,19 @@ class MemoryLayout:
 
     def placement(self) -> np.ndarray:
         """Dense per-page tier array reconstructed from the entries."""
-        out = np.empty(self.n_pages, dtype=np.uint8)
-        for entry in self.entries:
-            out[entry.guest_start_page : entry.guest_end_page] = entry.tier
-        return out
+        # Entries are sorted and validated to tile the guest, so a single
+        # repeat reproduces the per-entry slice assignments.
+        tiers = np.fromiter(
+            (e.tier for e in self.entries),
+            dtype=np.uint8,
+            count=len(self.entries),
+        )
+        sizes = np.fromiter(
+            (e.n_pages for e in self.entries),
+            dtype=np.int64,
+            count=len(self.entries),
+        )
+        return np.repeat(tiers, sizes)
 
     def pages_in_tier(self, tier: Tier | int) -> int:
         """Total guest pages mapped to a tier."""

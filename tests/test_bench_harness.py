@@ -1,0 +1,211 @@
+"""Tests for the benchmark harness: measurement discipline, the
+``toss-bench/v1`` schema, kernel filtering, and the CI regression gate.
+
+The real kernels cost seconds to minutes, so everything here runs on
+cheap dummy kernels; ``bench-smoke`` in CI exercises the real ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchKernel,
+    BenchRecord,
+    BenchReport,
+    compare_to_baseline,
+    kernels_matching,
+    run_benchmarks,
+    write_report,
+)
+from repro.bench.harness import load_baseline
+from repro.bench.kernels import KERNELS
+from repro.errors import ConfigError
+
+
+def counting_kernel(name: str, tags: tuple[str, ...] = ()) -> BenchKernel:
+    """A kernel that records how often setup/run were called."""
+    calls = {"setup": 0, "run": 0}
+
+    def setup():
+        calls["setup"] += 1
+        return calls
+
+    def run(state):
+        state["run"] += 1
+
+    return BenchKernel(
+        name=name, description="counter", setup=setup, run=run, ops=7,
+        tags=tags,
+    )
+
+
+class TestMeasurementDiscipline:
+    def test_setup_once_warmup_untimed_repeats_timed(self):
+        kernel = counting_kernel("counter")
+        report = run_benchmarks([kernel], warmup=2, repeats=3)
+        state = kernel.setup()  # returns the shared call-count dict
+        assert state["setup"] == 2  # once in the harness, once just now
+        # 2 warmup + 3 timed runs happened, but only 3 were recorded.
+        assert state["run"] == 5
+        rec = report.record("counter")
+        assert len(rec.wall_runs_s) == 3
+        assert rec.ops == 7
+
+    def test_median_of_runs_is_reported(self):
+        rec = BenchRecord(
+            name="x", tags=(), wall_runs_s=(0.5, 10.0, 1.0),
+            peak_rss_mb=1.0, ops=2,
+        )
+        assert rec.wall_median_s == 1.0  # the 10 s outlier does not win
+        assert rec.ops_per_s == pytest.approx(2.0)
+
+    def test_validation(self):
+        kernel = counting_kernel("k")
+        with pytest.raises(ConfigError):
+            run_benchmarks([kernel], warmup=-1)
+        with pytest.raises(ConfigError):
+            run_benchmarks([kernel], repeats=0)
+        with pytest.raises(ConfigError):
+            BenchKernel("", "d", lambda: None, lambda s: None, ops=1)
+        with pytest.raises(ConfigError):
+            BenchKernel("k", "d", lambda: None, lambda s: None, ops=0)
+
+    def test_unknown_record_raises(self):
+        report = run_benchmarks([counting_kernel("a")], warmup=0, repeats=1)
+        with pytest.raises(KeyError):
+            report.record("nope")
+
+
+class TestSchema:
+    def _report(self) -> BenchReport:
+        return run_benchmarks(
+            [counting_kernel("a", tags=("smoke",))],
+            warmup=0,
+            repeats=2,
+            filter_expr="a",
+            baseline={"a": 1.0},
+        )
+
+    def test_document_shape(self):
+        doc = self._report().to_json()
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["config"] == {"warmup": 0, "repeats": 2, "filter": "a"}
+        entry = doc["benchmarks"]["a"]
+        assert entry["tags"] == ["smoke"]
+        assert set(entry["wall_s"]) == {"median", "min", "max", "runs"}
+        assert len(entry["wall_s"]["runs"]) == 2
+        assert entry["peak_rss_mb"] > 0
+        assert entry["ops"] == 7
+        assert entry["ops_per_s"] > 0
+        # The baseline the speedup claim is made against is embedded.
+        assert doc["baseline"] == {"a": {"wall_s_median": 1.0}}
+        assert "a" in doc["speedup_vs_baseline"]
+
+    def test_speedup_is_baseline_over_current(self):
+        report = BenchReport(
+            records=[
+                BenchRecord("a", (), (0.5,), 1.0, 1),
+                BenchRecord("b", (), (0.5,), 1.0, 1),
+            ],
+            warmup=1,
+            repeats=1,
+            baseline={"a": 2.0},
+        )
+        assert report.speedup("a") == pytest.approx(4.0)
+        assert report.speedup("b") is None  # no baseline recorded
+
+    def test_write_then_load_baseline_round_trip(self, tmp_path):
+        report = self._report()
+        path = write_report(report, tmp_path / "bench.json")
+        medians = load_baseline(path)
+        # Measurements win over the embedded baseline section.
+        assert medians["a"] == pytest.approx(report.record("a").wall_median_s)
+        assert medians["a"] != 1.0
+
+    def test_load_baseline_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9", "benchmarks": {}}))
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+
+    def test_load_baseline_falls_back_to_embedded_section(self, tmp_path):
+        path = tmp_path / "baseline-only.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "baseline": {"old": {"wall_s_median": 3.5}},
+                }
+            )
+        )
+        assert load_baseline(path) == {"old": 3.5}
+
+
+class TestFiltering:
+    def test_empty_filter_matches_all(self):
+        assert kernels_matching("") == list(KERNELS)
+
+    def test_name_substring_case_insensitive(self):
+        names = [k.name for k in kernels_matching("FIG9")]
+        assert names == ["fig9_c100", "fig9_c1000"]
+
+    def test_tag_match(self):
+        smoke = kernels_matching("smoke")
+        assert smoke and all("smoke" in k.tags for k in smoke)
+        # The smoke set must stay cheap: the C=100 sweep and the fleet
+        # study are the expensive kernels and stay out of CI's budget.
+        assert "fleet_study" not in {k.name for k in smoke}
+
+    def test_no_match_is_empty(self):
+        assert kernels_matching("does-not-exist") == []
+
+    def test_kernel_names_are_unique(self):
+        names = [k.name for k in KERNELS]
+        assert len(names) == len(set(names))
+
+
+class TestRegressionGate:
+    def _report(self, median: float) -> BenchReport:
+        return BenchReport(
+            records=[BenchRecord("a", (), (median,), 1.0, 1)],
+            warmup=1,
+            repeats=1,
+        )
+
+    def test_within_budget_passes(self):
+        failures = compare_to_baseline(self._report(1.4), {"a": 1.0})
+        assert failures == []
+
+    def test_regression_fails_with_readable_message(self):
+        failures = compare_to_baseline(self._report(1.6), {"a": 1.0})
+        assert len(failures) == 1
+        assert "a" in failures[0] and "1.50x" in failures[0]
+
+    def test_names_restricts_the_gate(self):
+        report = BenchReport(
+            records=[
+                BenchRecord("a", (), (9.0,), 1.0, 1),
+                BenchRecord("b", (), (1.0,), 1.0, 1),
+            ],
+            warmup=1,
+            repeats=1,
+        )
+        baseline = {"a": 1.0, "b": 1.0}
+        assert compare_to_baseline(report, baseline, names=["b"]) == []
+
+    def test_gated_name_without_baseline_fails_loudly(self):
+        # A gate on a benchmark nobody recorded a baseline for must not
+        # silently pass — that is how regressions sneak into CI.
+        failures = compare_to_baseline(self._report(1.0), {}, names=["a"])
+        assert failures and "no baseline" in failures[0]
+
+    def test_missing_baseline_without_gate_is_ignored(self):
+        assert compare_to_baseline(self._report(1.0), {}) == []
+
+    def test_invalid_max_regression(self):
+        with pytest.raises(ConfigError):
+            compare_to_baseline(self._report(1.0), {"a": 1.0}, max_regression=0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.telemetry import EventKind, TelemetryEvent, TelemetryLog
 from repro.core.toss import Phase, TossConfig, TossController
 
@@ -107,28 +109,24 @@ class TestTelemetryLog:
 
 
 class TestEventTimestampField:
-    def test_at_s_promoted_from_detail(self):
-        event = TelemetryEvent(
-            EventKind.REQUEST_SHED, "f", 1, {"at_s": 2.5, "reason": "x"}
-        )
-        assert event.at_s == 2.5
-
-    def test_field_mirrored_into_detail_for_one_release(self):
+    def test_field_carries_timestamp(self):
         event = TelemetryEvent(EventKind.BREAKER_TRANSITION, "f", 1, at_s=4.25)
-        # Deprecated location still served during the transition release.
-        assert event.detail["at_s"] == 4.25
+        assert event.at_s == 4.25
+        # The transition-release detail mirror is gone for good.
+        assert "at_s" not in event.detail
 
     def test_no_timestamp_stays_none(self):
         event = TelemetryEvent(EventKind.TIERED_INVOCATION, "f", 1)
         assert event.at_s is None
         assert "at_s" not in event.detail
 
-    def test_field_wins_over_detail_when_both_given(self):
-        event = TelemetryEvent(
-            EventKind.REQUEST_SHED, "f", 1, {"at_s": 9.0}, at_s=1.0
-        )
-        assert event.at_s == 1.0
-        assert event.detail["at_s"] == 9.0  # detail copy untouched
+    def test_timestamp_in_detail_is_rejected(self):
+        # Stragglers still emitting through detail fail loudly instead of
+        # silently losing their timestamps.
+        with pytest.raises(ValueError, match="at_s"):
+            TelemetryEvent(
+                EventKind.REQUEST_SHED, "f", 1, {"at_s": 2.5, "reason": "x"}
+            )
 
 
 class TestControllerIntegration:

@@ -1,0 +1,340 @@
+"""Bit-identity tests for the optimised hot paths.
+
+The vectorised DAMON profiler and the flattened, memoised contention
+solver replaced loop-heavy implementations whose exact floating-point
+results the golden fixtures (Figures 7-9, the Perfetto trace) depend on.
+These tests pin the *pre-change* implementations as references inside
+the test file and assert the production code reproduces their output
+bit for bit on seeded inputs — not approximately, exactly.
+
+A hypothesis property additionally checks the solver memo: answering a
+solve from the cache must never change ``contended_times``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfilingError
+from repro.memsim.bandwidth import RESOURCES, ContentionModel, TierDemand
+from repro.memsim.storage import OPTANE_SSD_SPEC
+from repro.memsim.tiers import DEFAULT_MEMORY_SYSTEM
+from repro.profiling.damon import DamonConfig, DamonProfiler, DamonSnapshot
+from repro.regions import Region
+from repro.vm.microvm import EpochRecord
+
+# -- pinned pre-change implementations ----------------------------------------
+
+
+class ReferenceDamonProfiler(DamonProfiler):
+    """The profiler as it was before vectorisation (pinned verbatim)."""
+
+    def profile(self, epochs) -> DamonSnapshot:
+        if not epochs:
+            raise ProfilingError("cannot profile an empty invocation")
+        total = np.zeros(self.n_pages, dtype=np.float64)
+        total_samples = 0
+        for epoch in epochs:
+            values, samples = self._aggregate(epoch)
+            for i in range(self.n_regions):
+                s, e = int(self._bounds[i]), int(self._bounds[i + 1])
+                total[s:e] += values[i]
+            total_samples += samples
+            self._adapt(values, samples)
+        regions = []
+        for i in range(self.n_regions):
+            s, e = int(self._bounds[i]), int(self._bounds[i + 1])
+            regions.append(Region(s, e - s, float(total[s:e].mean())))
+        return DamonSnapshot(
+            n_pages=self.n_pages, regions=tuple(regions), samples=total_samples
+        )
+
+    def _aggregate(self, epoch: EpochRecord) -> tuple[np.ndarray, int]:
+        duration = max(epoch.duration_s, self.cfg.sampling_interval_s)
+        samples = max(1, int(round(duration / self.cfg.sampling_interval_s)))
+        sizes = np.diff(self._bounds).astype(np.float64)
+        if epoch.pages.size:
+            rates = epoch.counts * self.cfg.access_bit_scale / duration
+            p_page = -np.expm1(-rates * self.cfg.sampling_interval_s)
+            idx = np.searchsorted(self._bounds, epoch.pages, side="right") - 1
+            p_sum = np.bincount(idx, weights=p_page, minlength=self.n_regions)
+        else:
+            p_sum = np.zeros(self.n_regions)
+        p_region = np.clip(p_sum / sizes, 0.0, 1.0)
+        values = self.rng.binomial(samples, p_region).astype(np.float64)
+        return values, samples
+
+    def _adapt(self, values: np.ndarray, samples: int) -> None:
+        bounds = self._bounds
+        keep = [0]
+        for i in range(1, len(bounds) - 1):
+            pair_scale = max(values[i], values[i - 1])
+            threshold = max(1.0, self.cfg.merge_threshold * pair_scale)
+            if abs(values[i] - values[i - 1]) > threshold:
+                keep.append(i)
+            else:
+                left_pages = bounds[i] - bounds[keep[-1]]
+                right_pages = bounds[i + 1] - bounds[i]
+                values[i] = (
+                    values[i - 1] * left_pages + values[i] * right_pages
+                ) / (left_pages + right_pages)
+        keep.append(len(bounds) - 1)
+        bounds = bounds[np.asarray(keep, dtype=np.int64)]
+
+        new_bounds = [int(bounds[0])]
+        budget = self.cfg.max_nr_regions - (len(bounds) - 1)
+        for i in range(len(bounds) - 1):
+            start, end = int(bounds[i]), int(bounds[i + 1])
+            size = end - start
+            if budget > 0 and size >= 2 * self.cfg.min_region_pages:
+                lo = start + self.cfg.min_region_pages
+                hi = end - self.cfg.min_region_pages
+                cut = int(self.rng.integers(lo, hi + 1)) if hi >= lo else None
+                if cut is not None and start < cut < end:
+                    new_bounds.append(cut)
+                    budget -= 1
+            new_bounds.append(end)
+        self._bounds = np.unique(np.asarray(new_bounds, dtype=np.int64))
+
+
+class ReferenceContentionModel(ContentionModel):
+    """The solver as it was before flattening/memoisation (pinned)."""
+
+    def _solve(self, demands):
+        import math
+
+        times = [max(d.nominal_time_s, 1e-12) for d in demands]
+        inflation = {r: 1.0 for r in RESOURCES}
+        works = [d._stalls_and_work() for d in demands]
+        for _ in range(self.max_iterations):
+            rates = {r: 0.0 for r in RESOURCES}
+            for work, t in zip(works, times):
+                for r in RESOURCES:
+                    rates[r] += work[r][1] / t
+            new_inflation = {
+                r: self._inflation(rates[r] / self._capacity[r])
+                for r in RESOURCES
+            }
+            inflation = {
+                r: math.exp(
+                    (1.0 - self.damping) * math.log(inflation[r])
+                    + self.damping * math.log(new_inflation[r])
+                )
+                for r in RESOURCES
+            }
+            new_times = []
+            for d, work in zip(demands, works):
+                t = d.cpu_time_s
+                for r in RESOURCES:
+                    t += work[r][0] * inflation[r]
+                new_times.append(max(t, 1e-12))
+            delta = max(
+                abs(a - b) / max(a, 1e-12) for a, b in zip(times, new_times)
+            )
+            times = new_times
+            if delta <= self.tolerance:
+                break
+        return times, inflation
+
+
+# -- input generators ----------------------------------------------------------
+
+
+def synthetic_epochs(
+    seed: int, n_pages: int, n_epochs: int, *, density: float = 0.1
+) -> tuple[EpochRecord, ...]:
+    """Seeded epochs with sparse, sorted page sets (some possibly empty)."""
+    rng = np.random.default_rng(seed)
+    epochs = []
+    for e in range(n_epochs):
+        if e == n_epochs - 1 and n_epochs > 2:
+            # One fully idle epoch exercises the empty-pages branch.
+            pages = np.empty(0, dtype=np.int64)
+            counts = np.empty(0, dtype=np.int64)
+        else:
+            n_hot = max(1, int(n_pages * density))
+            pages = np.sort(
+                rng.choice(n_pages, size=n_hot, replace=False)
+            ).astype(np.int64)
+            counts = rng.integers(1, 500, size=pages.size).astype(np.int64)
+        epochs.append(
+            EpochRecord(
+                duration_s=float(rng.uniform(0.005, 0.2)),
+                pages=pages,
+                counts=counts,
+            )
+        )
+    return tuple(epochs)
+
+
+def random_demand(rng: np.random.Generator) -> TierDemand:
+    v = rng.uniform(0.01, 0.5, size=11)
+    return TierDemand(
+        cpu_time_s=v[0],
+        fast_stall_s=v[1],
+        fast_bytes=v[2] * 1e9,
+        slow_read_stall_s=v[3],
+        slow_read_ops=v[4] * 1e6,
+        slow_write_stall_s=v[5],
+        slow_write_ops=v[6] * 1e6,
+        ssd_stall_s=v[7],
+        ssd_ops=v[8] * 1e5,
+        uffd_stall_s=v[9],
+        uffd_ops=v[10] * 1e5,
+    )
+
+
+def model(**kwargs) -> ContentionModel:
+    return ContentionModel(DEFAULT_MEMORY_SYSTEM, OPTANE_SSD_SPEC, **kwargs)
+
+
+# -- DAMON ---------------------------------------------------------------------
+
+
+class TestDamonBitIdentity:
+    N_PAGES = 32768
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 7])
+    def test_snapshot_matches_reference_exactly(self, seed):
+        epochs = synthetic_epochs(seed, self.N_PAGES, n_epochs=4)
+        new = DamonProfiler(
+            self.N_PAGES, rng=np.random.default_rng(seed)
+        )
+        ref = ReferenceDamonProfiler(
+            self.N_PAGES, rng=np.random.default_rng(seed)
+        )
+        snap_new = new.profile(epochs)
+        snap_ref = ref.profile(epochs)
+        # Exact dataclass equality: every region boundary and every
+        # float64 value, no tolerance.
+        assert snap_new == snap_ref
+        assert np.array_equal(new._bounds, ref._bounds)
+        assert np.array_equal(
+            snap_new.page_values(), snap_ref.page_values()
+        )
+
+    def test_sequential_profiles_keep_matching(self):
+        """Region state evolves across invocations; it must not drift."""
+        new = DamonProfiler(self.N_PAGES, rng=np.random.default_rng(11))
+        ref = ReferenceDamonProfiler(
+            self.N_PAGES, rng=np.random.default_rng(11)
+        )
+        for pass_seed in range(4):
+            epochs = synthetic_epochs(100 + pass_seed, self.N_PAGES, 3)
+            assert new.profile(epochs) == ref.profile(epochs)
+
+    def test_dense_epochs_match(self):
+        """Every page touched: no empty regions, full reduceat segments."""
+        rng = np.random.default_rng(5)
+        epochs = (
+            EpochRecord(
+                duration_s=0.05,
+                pages=np.arange(self.N_PAGES, dtype=np.int64),
+                counts=rng.integers(
+                    1, 100, size=self.N_PAGES
+                ).astype(np.int64),
+            ),
+        )
+        new = DamonProfiler(self.N_PAGES, rng=np.random.default_rng(5))
+        ref = ReferenceDamonProfiler(
+            self.N_PAGES, rng=np.random.default_rng(5)
+        )
+        assert new.profile(epochs) == ref.profile(epochs)
+
+    def test_small_guest_matches(self):
+        cfg = DamonConfig(min_region_pages=1, min_nr_regions=4)
+        epochs = synthetic_epochs(9, 64, n_epochs=2, density=0.5)
+        new = DamonProfiler(64, cfg, rng=np.random.default_rng(9))
+        ref = ReferenceDamonProfiler(64, cfg, rng=np.random.default_rng(9))
+        assert new.profile(epochs) == ref.profile(epochs)
+
+    def test_page_values_fast_path_matches_fallback(self):
+        regions = (Region(0, 10, 2.0), Region(10, 22, 0.0), Region(32, 8, 5.5))
+        snap = DamonSnapshot(n_pages=40, regions=regions, samples=3)
+        dense = np.zeros(40)
+        dense[:10] = 2.0
+        dense[32:] = 5.5
+        assert np.array_equal(snap.page_values(), dense)
+        # A non-tiling snapshot (hand-built, gap at the front) takes the
+        # fallback loop and must still expand correctly.
+        gappy = DamonSnapshot(
+            n_pages=40, regions=(Region(8, 4, 1.0),), samples=1
+        )
+        expected = np.zeros(40)
+        expected[8:12] = 1.0
+        assert np.array_equal(gappy.page_values(), expected)
+
+
+# -- contention solver ---------------------------------------------------------
+
+
+class TestSolverBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("batch", [1, 2, 7, 40])
+    def test_matches_reference_exactly(self, seed, batch):
+        rng = np.random.default_rng(seed)
+        demands = [random_demand(rng) for _ in range(batch)]
+        cur = model()
+        ref = ReferenceContentionModel(DEFAULT_MEMORY_SYSTEM, OPTANE_SSD_SPEC)
+        assert cur.contended_times(demands) == ref._solve(demands)[0]
+        assert cur.inflation_factors(demands) == ref._solve(demands)[1]
+
+    def test_cache_hit_is_bit_identical_and_counted(self):
+        rng = np.random.default_rng(21)
+        demands = [random_demand(rng) for _ in range(10)]
+        m = model()
+        first = m.contended_times(demands)
+        assert m.solve_cache_hits == 0
+        second = m.contended_times(list(demands))  # a distinct list object
+        assert m.solve_cache_hits == 1
+        assert second == first  # exactly, not approximately
+        # inflation_factors on the same batch is also answered cached.
+        m.inflation_factors(demands)
+        assert m.solve_cache_hits == 2
+
+    def test_cached_results_cannot_be_corrupted(self):
+        rng = np.random.default_rng(22)
+        demands = [random_demand(rng) for _ in range(5)]
+        m = model()
+        pristine = model().contended_times(demands)
+        first = m.contended_times(demands)
+        first[0] = -1.0  # caller scribbles on the returned list
+        m.inflation_factors(demands)["fast"] = -1.0
+        # The cache handed out copies, so the stored result is untouched.
+        assert m.contended_times(demands) == pristine
+        assert m.inflation_factors(demands)["fast"] > 0
+
+    def test_lru_bound_is_enforced(self):
+        rng = np.random.default_rng(23)
+        m = model()
+        m.solve_cache_max = 2
+        batches = [[random_demand(rng)] for _ in range(4)]
+        for batch in batches:
+            m.contended_times(batch)
+        assert len(m._solve_cache) == 2
+        # The oldest batch was evicted: re-solving it is a miss ...
+        m.contended_times(batches[0])
+        assert m.solve_cache_hits == 0
+        # ... while the newest is still a hit.
+        m.contended_times(batches[0])
+        assert m.solve_cache_hits == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        batch=st.integers(min_value=1, max_value=8),
+        replays=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_cache_never_changes_results(self, seed, batch, replays):
+        """Hypothesis: however a batch is replayed through one model, the
+        answer equals a fresh model's uncached solve, bit for bit."""
+        rng = np.random.default_rng(seed)
+        demands = [random_demand(rng) for _ in range(batch)]
+        caching = model()
+        results = [caching.contended_times(demands) for _ in range(replays + 1)]
+        fresh = model().contended_times(demands)
+        assert all(r == fresh for r in results)
+        assert caching.solve_cache_hits == replays

@@ -62,6 +62,60 @@ class TestGreedyDualCache:
             cache.admit("f", fast_mb=0, init_cost_s=0.1)
 
 
+class TestReAdmissionFootprint:
+    """Re-admission must bill the *current* fast-tier footprint.
+
+    The old ``admit`` returned early when the name was already resident,
+    so a VM whose tiering shrank (or a re-profiled VM that grew) kept
+    being billed at the footprint frozen at first admission — silently
+    wasting headroom in the shrink case and overcommitting DRAM in the
+    grow case."""
+
+    def test_shrink_then_grow_refreshes_billing(self):
+        cache = KeepAliveCache(150)
+        assert cache.admit("f", fast_mb=100, init_cost_s=0.5)
+        # Tiering moved most pages to the slow tier: re-admission now
+        # pins 40 MB, and the freed headroom must be real.
+        assert cache.admit("f", fast_mb=40, init_cost_s=0.5)
+        assert cache.used_mb == pytest.approx(40.0)
+        assert cache.admit("g", fast_mb=100, init_cost_s=0.5)
+        assert cache.evictions == 0
+        assert cache.warm_functions == {"f", "g"}
+        # Growing back re-competes for capacity instead of sliding in at
+        # the stale 40 MB billing: g must be evicted to make room.
+        assert cache.admit("f", fast_mb=140, init_cost_s=5.0)
+        assert cache.used_mb == pytest.approx(140.0)
+        assert cache.used_mb <= cache.capacity_mb
+        assert cache.evictions == 1
+        assert cache.warm_functions == {"f"}
+
+    def test_grown_footprint_cannot_overcommit(self):
+        cache = KeepAliveCache(150)
+        cache.admit("gold", fast_mb=50, init_cost_s=10.0)
+        cache.admit("f", fast_mb=50, init_cost_s=0.001)
+        # f grew past the remaining headroom and is too cheap to evict
+        # the expensive neighbour: admission must fail, never leave the
+        # cache over budget, and drop the stale 50 MB entry (its
+        # footprint no longer exists).
+        assert not cache.admit("f", fast_mb=140, init_cost_s=0.001)
+        assert cache.used_mb <= cache.capacity_mb
+        assert "gold" in cache.warm_functions
+        assert "f" not in cache.warm_functions
+
+    def test_readmission_keeps_frequency(self):
+        cache = KeepAliveCache(300)
+        cache.admit("hot", fast_mb=100, init_cost_s=0.01)
+        for _ in range(50):
+            cache.lookup("hot")
+        # Re-admission at a new footprint keeps the earned frequency, so
+        # the entry still outranks a same-cost newcomer.
+        cache.admit("hot", fast_mb=150, init_cost_s=0.01)
+        cache.admit("cold", fast_mb=150, init_cost_s=0.01)
+        cache.admit("new", fast_mb=150, init_cost_s=0.01)
+        assert "hot" in cache.warm_functions
+        assert "cold" not in cache.warm_functions
+
+
 class TestPlatformIntegration:
     def _platform(self, keepalive):
         return ServerlessPlatform(

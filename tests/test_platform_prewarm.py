@@ -102,3 +102,39 @@ class TestPrewarmPolicy:
         # An arrival right on schedule is hidden: the restore launched at
         # 19.95 and took 5 ms.
         assert policy.would_hide_setup("f", 20.0, setup_time_s=0.005)
+
+
+class TestHorizonSparseTraffic:
+    """The horizon must bound the prediction's lead time from the last
+    *observed* arrival.  The old code compared the prediction against the
+    arrival being judged — a difference of roughly zero whenever the
+    request showed up on schedule — so the horizon never suppressed
+    anything and sparse timers were counted as pre-warm hits the platform
+    would never actually have paid memory to make."""
+
+    def test_gap_beyond_horizon_is_never_a_hit(self):
+        policy = PrewarmPolicy(horizon_s=120.0)
+        # Perfectly regular but sparse timer: 300 s between arrivals.
+        policy.observe("f", 0.0)
+        policy.observe("f", 300.0)
+        # The prediction (600 s) is 300 s of speculative lead time —
+        # beyond the horizon, so the on-schedule arrival must miss even
+        # though the restore itself would have been trivially fast.
+        assert not policy.would_hide_setup("f", 600.0, setup_time_s=0.005)
+        assert policy.hits == 0
+        assert policy.misses == 1
+
+    def test_sparse_timer_workload_hides_nothing(self):
+        policy = PrewarmPolicy(horizon_s=120.0)
+        for t in fixed_arrivals(200.0, 2000.0):
+            policy.would_hide_setup("f", float(t), 0.005)
+            policy.observe("f", float(t))
+        assert policy.hit_rate == 0.0
+
+    def test_gap_within_horizon_still_hits(self):
+        policy = PrewarmPolicy(horizon_s=120.0)
+        policy.observe("f", 0.0)
+        policy.observe("f", 60.0)
+        # 60 s of lead time is inside the horizon: the fix must not
+        # over-suppress dense-but-not-rapid timers.
+        assert policy.would_hide_setup("f", 120.0, setup_time_s=0.01)

@@ -60,12 +60,14 @@ class TestTelemetryOrdering:
             EventKind.REQUEST_SHED,
             EventKind.HEALTH_TRANSITION,
         }
-        assert all("at_s" in e.detail for e in stamped)
+        assert all(e.at_s is not None for e in stamped)
+        # The deprecated detail mirror is gone for good.
+        assert all("at_s" not in e.detail for e in telemetry.events)
 
     def test_emission_order_is_nondecreasing_simulated_time(self, tiny_function):
         _, telemetry = overloaded_run(tiny_function)
         stamps = [
-            e.detail["at_s"] for e in telemetry.events if e.kind in ORDERED_KINDS
+            e.at_s for e in telemetry.events if e.kind in ORDERED_KINDS
         ]
         assert stamps == sorted(stamps)
 
