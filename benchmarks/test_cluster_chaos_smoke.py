@@ -1,0 +1,100 @@
+"""Cluster-chaos smoke: the replicated fleet survives a host crash.
+
+The CI ``cluster-chaos-smoke`` job runs this file alone.  The scenario
+documented in ``docs/modeling.md`` ("Cluster model & fault domains"):
+a four-host fleet with ``replication_factor=2`` loses one host for half
+the run.  The acceptance gate mirrors the fleet-resilience study's
+floor: availability at least 0.99 for the traffic the fleet is obliged
+to serve, every re-dispatch bounded by the configured budget, and no
+request lost without a typed outcome (a host log entry or a cluster
+:class:`~repro.errors.ClusterError` shed).
+"""
+
+from __future__ import annotations
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterPlatform,
+    FLEET_SUITE,
+    steady_requests,
+)
+from repro.core.toss import TossConfig
+from repro.experiments import fleet_resilience
+from repro.faults.plan import FaultPlan, HostFaultSpec
+
+AVAILABILITY_FLOOR = 0.99
+
+N_REQUESTS = 200
+
+
+def run_crash_scenario():
+    cluster = ClusterPlatform(
+        ClusterConfig(
+            n_hosts=4,
+            replication_factor=2,
+            cores_per_host=4,
+            re_replication_delay_s=1.0,
+        ),
+        toss_cfg=TossConfig(convergence_window=3, min_profiling_invocations=3),
+        plan=FaultPlan(
+            hosts=(HostFaultSpec(host=0, crash_windows=((2.0, 6.0),)),)
+        ),
+    )
+    cluster.deploy_fleet(list(FLEET_SUITE))
+    outcomes = cluster.serve(
+        steady_requests(n_requests=N_REQUESTS, duration_s=8.0)
+    )
+    return cluster, outcomes
+
+
+def test_host_crash_holds_availability_floor(benchmark, emit):
+    cluster, outcomes = benchmark.pedantic(
+        run_crash_scenario, rounds=1, iterations=1
+    )
+
+    availability = cluster.availability()
+    budget = cluster.config.max_redispatch_attempts
+    lines = [
+        "cluster chaos smoke (4 hosts, rf=2, host 0 down [2s, 6s))",
+        f"  requests submitted    : {len(outcomes)}",
+        f"  availability          : {availability:.4f}"
+        f"  (floor {AVAILABILITY_FLOOR})",
+        f"  kills                 : {cluster.total_kills()}",
+        f"  re-dispatches         : {cluster.total_redispatches}",
+        f"  failovers             : {cluster.total_failovers}",
+        f"  re-placements         : {len(cluster.replacements_applied)}",
+        f"  cluster sheds         : {cluster.total_cluster_shed()}",
+        "  fleet transitions     : " + ", ".join(
+            f"{old.name}->{new.name} @{at:.3f}s"
+            for at, old, new in cluster.fleet_ladder.transitions
+        ),
+    ]
+    emit("cluster_chaos_smoke", "\n".join(lines))
+
+    assert len(outcomes) == N_REQUESTS
+    assert availability >= AVAILABILITY_FLOOR
+    # Bounded re-dispatch: nobody exceeded the budget, and nothing was
+    # lost without a typed outcome.
+    assert all(o.redispatches <= budget for o in outcomes)
+    assert cluster.unaccounted() == 0
+    assert all(o.entry is not None or (o.shed_reason and o.error)
+               for o in outcomes)
+    assert cluster.total_failovers > 0
+
+
+def test_resilience_study_shows_replication_contrast(benchmark, emit):
+    result = benchmark.pedantic(
+        fleet_resilience.run, rounds=1, iterations=1
+    )
+    emit("cluster_resilience", result.table.render())
+
+    # The study's designed contrast: an unreplicated fleet dips under
+    # the floor when a host dies; a replicated one holds it.  Losing
+    # two hosts can take out both holders of a function, so rf=2 only
+    # promises to beat rf=1 there, not the floor.
+    assert result.cell(1, 1).availability < AVAILABILITY_FLOOR
+    assert result.cell(2, 1).availability >= AVAILABILITY_FLOOR
+    assert result.cell(2, 2).availability > result.cell(1, 2).availability
+    # Losing nobody costs nothing, whatever the replication factor.
+    assert result.cell(1, 0).availability == 1.0
+    assert result.cell(2, 0).availability == 1.0

@@ -73,6 +73,10 @@ def _run_fleet():
     )
 
 
+def _run_resilience():
+    return ex.fleet_resilience.run().table.render()
+
+
 def _run_ablations():
     return "\n\n".join(
         t.render()
@@ -98,6 +102,9 @@ EXPERIMENTS = {
     "sec6c3": ("Section VI-C3: snapshot cost variance", _run_sec6c3),
     "ablations": ("Design-choice ablations", _run_ablations),
     "fleet": ("Extension: fleet packing density and bill savings", _run_fleet),
+    "resilience": (
+        "Extension: cluster availability vs hosts lost", _run_resilience
+    ),
 }
 
 
@@ -147,6 +154,37 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default="results/obs",
         help="output directory (default results/obs)",
+    )
+    cluster = sub.add_parser(
+        "cluster",
+        help="run the fault-tolerant cluster fleet on a synthetic workload",
+    )
+    cluster.add_argument(
+        "--hosts", type=int, default=4, help="fleet size (default 4)"
+    )
+    cluster.add_argument(
+        "--replication", type=int, default=2,
+        help="snapshot replication factor (default 2)",
+    )
+    cluster.add_argument(
+        "--requests", type=int, default=200,
+        help="requests in the steady stream (default 200)",
+    )
+    cluster.add_argument(
+        "--duration", type=float, default=8.0,
+        help="stream duration in simulated seconds (default 8)",
+    )
+    cluster.add_argument(
+        "--crash", type=int, action="append", default=None, metavar="HOST",
+        help="crash HOST over the outage window (repeatable)",
+    )
+    cluster.add_argument(
+        "--crash-start", type=float, default=2.0,
+        help="outage window start (default 2.0)",
+    )
+    cluster.add_argument(
+        "--crash-end", type=float, default=6.0,
+        help="outage window end (default 6.0)",
     )
     bench = sub.add_parser(
         "bench", help="time the hot experiment kernels and write a report"
@@ -236,6 +274,61 @@ def main(argv: list[str] | None = None) -> int:
         )
         for path in (perfetto, jsonl, prom):
             print(f"wrote {path}")
+        return 0
+    if args.command == "cluster":
+        from .cluster import (
+            ClusterConfig,
+            ClusterPlatform,
+            FLEET_SUITE,
+            steady_requests,
+        )
+        from .core.toss import TossConfig
+        from .faults.plan import FaultPlan, HostFaultSpec
+
+        plan = None
+        if args.crash:
+            plan = FaultPlan(
+                hosts=tuple(
+                    HostFaultSpec(
+                        host=h,
+                        crash_windows=((args.crash_start, args.crash_end),),
+                    )
+                    for h in sorted(set(args.crash))
+                )
+            )
+        fleet = ClusterPlatform(
+            ClusterConfig(
+                n_hosts=args.hosts, replication_factor=args.replication
+            ),
+            toss_cfg=TossConfig(
+                convergence_window=3, min_profiling_invocations=3
+            ),
+            plan=plan,
+        )
+        fleet.deploy_fleet(list(FLEET_SUITE))
+        fleet.serve(
+            steady_requests(
+                n_requests=args.requests, duration_s=args.duration
+            )
+        )
+        table = Table(
+            f"Cluster fleet: {args.hosts} hosts, replication "
+            f"{args.replication}, {args.requests} requests",
+            ["metric", "value"],
+            precision=4,
+        )
+        table.add_row("availability", fleet.availability())
+        table.add_row("mean slowdown", fleet.mean_slowdown())
+        table.add_row("kills", fleet.total_kills())
+        table.add_row("re-dispatches", fleet.total_redispatches)
+        table.add_row("cluster shed", fleet.total_cluster_shed())
+        table.add_row("failovers", fleet.total_failovers)
+        table.add_row("re-placements", len(fleet.replacements_applied))
+        print(table.render())
+        if fleet.fleet_ladder.transitions:
+            print("fleet health transitions:")
+            for at_s, old, new in fleet.fleet_ladder.transitions:
+                print(f"  {at_s:8.3f}s  {old.name} -> {new.name}")
         return 0
     if args.command == "bench":
         from .bench import kernels_matching, run_benchmarks, write_report

@@ -18,6 +18,9 @@ dominates real runs:
 * ``contention_solve_repeat`` — the same batch re-solved on one model:
   tracks the solver memoization the platform relies on for repeated
   identical waves.
+* ``cluster_c100`` / ``cluster_chaos`` — the cluster fleet layer serving
+  a steady stream on 4 hosts, fault-free and with two hosts crashing
+  mid-stream (kills, re-dispatch, re-placement, fleet ladder).
 
 Kernels tagged ``smoke`` form the CI subset
 (``python -m repro bench --filter smoke``).
@@ -167,6 +170,64 @@ def _solve_repeat_run(state: _RepeatState):
     return total
 
 
+# -- cluster -------------------------------------------------------------------
+
+_CLUSTER_REQUESTS = 100
+
+
+def _cluster_setup():
+    from ..cluster import ClusterConfig, ClusterPlatform, steady_requests
+    from ..cluster import FLEET_SUITE
+    from ..core.toss import TossConfig
+    from ..faults.plan import FaultPlan, HostFaultSpec
+
+    return {
+        "ClusterConfig": ClusterConfig,
+        "ClusterPlatform": ClusterPlatform,
+        "FLEET_SUITE": FLEET_SUITE,
+        "steady_requests": steady_requests,
+        "TossConfig": TossConfig,
+        "FaultPlan": FaultPlan,
+        "HostFaultSpec": HostFaultSpec,
+    }
+
+
+def _cluster_run_fleet(mods, *, plan_hosts: int):
+    plan = None
+    if plan_hosts:
+        plan = mods["FaultPlan"](
+            hosts=tuple(
+                mods["HostFaultSpec"](host=h, crash_windows=((2.0, 6.0),))
+                for h in range(plan_hosts)
+            )
+        )
+    cluster = mods["ClusterPlatform"](
+        mods["ClusterConfig"](n_hosts=4, replication_factor=2),
+        toss_cfg=mods["TossConfig"](
+            convergence_window=3, min_profiling_invocations=3
+        ),
+        plan=plan,
+    )
+    cluster.deploy_fleet(list(mods["FLEET_SUITE"]))
+    cluster.serve(
+        mods["steady_requests"](
+            n_requests=_CLUSTER_REQUESTS, duration_s=8.0
+        )
+    )
+    return cluster.availability()
+
+
+def _cluster_c100_run(mods):
+    # Fault-free fleet serving: the pure routing/serving overhead.
+    return _cluster_run_fleet(mods, plan_hosts=0)
+
+
+def _cluster_chaos_run(mods):
+    # Two hosts crash mid-stream: kills, re-dispatch, re-placement and
+    # the fleet ladder all on the hot path.
+    return _cluster_run_fleet(mods, plan_hosts=2)
+
+
 KERNELS: tuple[BenchKernel, ...] = (
     BenchKernel(
         name="fig9_c100",
@@ -213,6 +274,21 @@ KERNELS: tuple[BenchKernel, ...] = (
         run=_solve_repeat_run,
         ops=_SOLVE_BATCHES,
         tags=("smoke",),
+    ),
+    BenchKernel(
+        name="cluster_c100",
+        description="Fault-free 4-host cluster serving 100 requests",
+        setup=_cluster_setup,
+        run=_cluster_c100_run,
+        ops=_CLUSTER_REQUESTS,
+        tags=("smoke",),
+    ),
+    BenchKernel(
+        name="cluster_chaos",
+        description="4-host cluster, 2 hosts crash mid-stream (rf=2)",
+        setup=_cluster_setup,
+        run=_cluster_chaos_run,
+        ops=_CLUSTER_REQUESTS,
     ),
 )
 

@@ -1,0 +1,28 @@
+"""Fault-tolerant cluster fleet layer.
+
+A multi-host fleet simulator on top of the single-host platform: N
+deterministic hosts, bin-packed snapshot placement with configurable
+replication, host crash/partition fault domains, bounded re-dispatch of
+killed requests, snapshot re-placement, and a fleet-wide degradation
+ladder.  See :mod:`repro.cluster.fleet` for the serving model.
+"""
+
+from .config import ClusterConfig
+from .fleet import ClusterPlatform, ClusterRequestOutcome
+from .health import FleetLadder
+from .host import Host
+from .placement import Replacement, SnapshotPlacement
+from .workload import FLEET_SUITE, fleet_function, steady_requests
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterPlatform",
+    "ClusterRequestOutcome",
+    "FleetLadder",
+    "Host",
+    "Replacement",
+    "SnapshotPlacement",
+    "FLEET_SUITE",
+    "fleet_function",
+    "steady_requests",
+]

@@ -1,0 +1,92 @@
+"""Fleet-wide degradation ladder.
+
+A second, cluster-level instance of the degradation idea in
+:mod:`repro.platform.overload`: where each host's ladder watches its own
+queue delays and failures, the fleet ladder aggregates *across* hosts —
+the fraction of hosts currently down or partitioned (the declarative
+signal, exact at any simulated time) and the median of the live hosts'
+own health states (the emergent signal).  Like the host ladder it moves
+one rung per observation, so a momentary blip does not slam the fleet
+into SHEDDING.
+
+Effects: at DEGRADED and above the fleet throttles pre-warming on every
+host (speculative restores are the first memory to give back during a
+recovery storm); at SHEDDING batch traffic is shed at fleet admission
+before it is ever routed.
+"""
+
+from __future__ import annotations
+
+from ..platform.overload import HealthState
+from .config import ClusterConfig
+
+__all__ = ["FleetLadder", "FleetTransition"]
+
+FleetTransition = tuple[float, HealthState, HealthState]
+"""One recorded transition: ``(at_s, from_state, to_state)``."""
+
+
+class FleetLadder:
+    """Aggregates per-host health into one fleet state."""
+
+    def __init__(self, cfg: ClusterConfig) -> None:
+        self.cfg = cfg
+        self.state = HealthState.HEALTHY
+        self.transitions: list[FleetTransition] = []
+        self._last_t = 0.0
+
+    def _down_target(self, frac_down: float) -> HealthState:
+        if frac_down >= self.cfg.hosts_down_shedding:
+            return HealthState.SHEDDING
+        if frac_down >= self.cfg.hosts_down_degraded:
+            return HealthState.DEGRADED
+        if frac_down >= self.cfg.hosts_down_pressured:
+            return HealthState.PRESSURED
+        return HealthState.HEALTHY
+
+    @staticmethod
+    def _median_state(states: list[HealthState]) -> HealthState:
+        if not states:
+            return HealthState.HEALTHY
+        ordered = sorted(states)
+        return ordered[len(ordered) // 2]
+
+    def observe(
+        self,
+        t_s: float,
+        *,
+        frac_down: float,
+        host_states: list[HealthState],
+    ) -> HealthState:
+        """Fold one snapshot of the fleet in; returns the new state.
+
+        ``frac_down`` is the fraction of hosts crashed or partitioned at
+        ``t_s``; ``host_states`` are the live hosts' own ladder states
+        (hosts without an overload policy report HEALTHY).  The state
+        moves at most one rung per observation, toward the worse of the
+        two signals.  Re-dispatch can observe at times earlier than a
+        later first dispatch already seen; transition timestamps are
+        clamped monotone.
+        """
+        t_s = max(float(t_s), self._last_t)
+        self._last_t = t_s
+        target = max(
+            self._down_target(frac_down), self._median_state(host_states)
+        )
+        if target == self.state:
+            return self.state
+        step = 1 if target > self.state else -1
+        new = HealthState(self.state.value + step)
+        self.transitions.append((t_s, self.state, new))
+        self.state = new
+        return self.state
+
+    @property
+    def throttle_prewarm(self) -> bool:
+        """Fleet-wide pre-warm suspension (DEGRADED and above)."""
+        return self.state >= HealthState.DEGRADED
+
+    @property
+    def shed_batch(self) -> bool:
+        """Shed batch traffic at fleet admission (SHEDDING)."""
+        return self.state >= HealthState.SHEDDING

@@ -64,6 +64,17 @@ class SchedulerError(ReproError):
     """The platform scheduler was configured or driven incorrectly."""
 
 
+class ClusterError(ReproError):
+    """A cluster-level serving failure the fleet could not absorb.
+
+    Raised (or recorded as a typed shed outcome) when a request's
+    bounded re-dispatch budget is exhausted with no live replica host to
+    run it on, and for invalid fleet configurations.  Requests are never
+    silently dropped: every submitted request ends either served, shed
+    by a host's admission policy, failed by an unrecoverable injected
+    fault, or shed at the cluster level with one of these attached."""
+
+
 class DeadlineExceededError(ReproError):
     """A request's deadline could not be met and no fallback was possible.
 

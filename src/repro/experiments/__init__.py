@@ -24,6 +24,7 @@ Figure 9     :mod:`.fig9_scalability`
 from . import (
     ablations,
     common,
+    fleet_resilience,
     fleet_study,
     fig1_ws_characterization,
     fig2_slow_tier_slowdown,
@@ -40,6 +41,7 @@ from . import (
 __all__ = [
     "ablations",
     "common",
+    "fleet_resilience",
     "fleet_study",
     "fig1_ws_characterization",
     "fig2_slow_tier_slowdown",

@@ -20,6 +20,7 @@ from .injector import FaultInjector, RetryOutcome
 from .plan import (
     ZERO_PLAN,
     FaultPlan,
+    HostFaultSpec,
     ProfilerFaultSpec,
     SnapshotFaultSpec,
     StorageFaultSpec,
@@ -34,6 +35,7 @@ __all__ = [
     "TierFaultSpec",
     "SnapshotFaultSpec",
     "ProfilerFaultSpec",
+    "HostFaultSpec",
     "ZERO_PLAN",
     "install",
     "uninstall",

@@ -23,6 +23,7 @@ __all__ = [
     "TierFaultSpec",
     "SnapshotFaultSpec",
     "ProfilerFaultSpec",
+    "HostFaultSpec",
     "FaultPlan",
     "ZERO_PLAN",
 ]
@@ -166,6 +167,67 @@ class ProfilerFaultSpec:
 
 
 @dataclass(frozen=True)
+class HostFaultSpec:
+    """Faults of one whole host in a cluster fleet.
+
+    ``crash_windows`` are ``(crash_s, recovered_s)`` intervals of
+    simulated time during which the host is down: requests in flight (or
+    queued) when a window opens are killed, the host's keep-alive and
+    pre-warm state is evicted, and no request can be routed to it until
+    the window closes.  Snapshots at rest on the host's local storage
+    survive a crash, so a recovered host serves tiered restores again.
+
+    ``partition_windows`` are ``(start_s, end_s)`` intervals during
+    which the host is network-partitioned: it cannot be routed to *and*
+    its at-rest snapshots are unreachable for re-placement copies — but
+    nothing running on it is killed.
+    """
+
+    host: int
+    crash_windows: tuple[tuple[float, float], ...] = ()
+    partition_windows: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.host < 0:
+            raise ConfigError(f"host index must be non-negative, got {self.host}")
+        _check_windows("crash_windows", self.crash_windows, with_multiplier=False)
+        _check_windows(
+            "partition_windows", self.partition_windows, with_multiplier=False
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this spec never injects anything."""
+        return not self.crash_windows and not self.partition_windows
+
+    def down_at(self, t_s: float) -> bool:
+        """Whether the host is crashed at a simulated time."""
+        return any(start <= t_s < end for start, end in self.crash_windows)
+
+    def partitioned_at(self, t_s: float) -> bool:
+        """Whether the host is partitioned at a simulated time."""
+        return any(start <= t_s < end for start, end in self.partition_windows)
+
+    def routable_at(self, t_s: float) -> bool:
+        """Whether a request can be dispatched to the host at ``t_s``."""
+        return not self.down_at(t_s) and not self.partitioned_at(t_s)
+
+    def crash_overlapping(
+        self, start_s: float, end_s: float
+    ) -> tuple[float, float] | None:
+        """The first crash window overlapping ``[start_s, end_s)``, if any.
+
+        A request whose service interval overlaps a crash window was in
+        flight (or queued) when the host died and is killed at the
+        window's start.
+        """
+        for window in self.crash_windows:
+            if start_s < window[1] and end_s > window[0]:
+                return window
+        return None
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One spec per fault domain plus the seed all decisions derive from."""
 
@@ -173,7 +235,24 @@ class FaultPlan:
     tier: TierFaultSpec = field(default_factory=TierFaultSpec)
     snapshot: SnapshotFaultSpec = field(default_factory=SnapshotFaultSpec)
     profiler: ProfilerFaultSpec = field(default_factory=ProfilerFaultSpec)
+    hosts: tuple[HostFaultSpec, ...] = ()
     seed: int = config.DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for spec in self.hosts:
+            if spec.host in seen:
+                raise ConfigError(
+                    f"duplicate HostFaultSpec for host {spec.host}"
+                )
+            seen.add(spec.host)
+
+    def host_spec(self, host: int) -> HostFaultSpec | None:
+        """The spec targeting ``host``, or None when it never faults."""
+        for spec in self.hosts:
+            if spec.host == host:
+                return spec
+        return None
 
     @property
     def is_zero(self) -> bool:
@@ -183,6 +262,7 @@ class FaultPlan:
             and self.tier.is_zero
             and self.snapshot.is_zero
             and self.profiler.is_zero
+            and all(spec.is_zero for spec in self.hosts)
         )
 
 

@@ -44,6 +44,8 @@ class HostCapacity:
         self.fast_mb = float(fast_mb)
         self.slow_mb = float(slow_mb)
         self._resident: list[ResidentVM] = []
+        self._names: set[str] = set()
+        self._fill_seq = 0
 
     @property
     def used_fast_mb(self) -> float:
@@ -90,27 +92,57 @@ class HostCapacity:
         )
 
     def admit(self, vm: ResidentVM) -> bool:
-        """Admit the VM if it fits; returns success."""
+        """Admit the VM if it fits; returns success.
+
+        Resident names are the release handles, so admitting a second VM
+        under a name already resident is a bookkeeping bug — a lease that
+        could be released twice or leak — and raises a typed
+        :class:`~repro.errors.SchedulerError` instead of silently
+        shadowing the first.
+        """
+        if vm.name in self._names:
+            raise SchedulerError(
+                f"VM {vm.name!r} is already resident; admit() names must be "
+                "unique until released"
+            )
         if not self.fits(vm):
             return False
         self._resident.append(vm)
+        self._names.add(vm.name)
         return True
 
-    def release(self, name: str) -> bool:
-        """Release the first resident VM with the given name."""
+    def release(self, name: str) -> None:
+        """Release the resident VM with the given name.
+
+        Releasing a name that is not resident means a lease was dropped
+        twice or never admitted — both accounting bugs — so it raises a
+        typed :class:`~repro.errors.SchedulerError` instead of silently
+        returning.
+        """
+        if name not in self._names:
+            raise SchedulerError(
+                f"no resident VM named {name!r} to release "
+                "(double release or never admitted?)"
+            )
         for i, vm in enumerate(self._resident):
             if vm.name == name:
                 del self._resident[i]
-                return True
-        return False
+                break
+        self._names.discard(name)
 
     def fill_with(self, vm: ResidentVM, limit: int = 100_000) -> int:
-        """Admit copies of ``vm`` until the host is full; returns count."""
+        """Admit copies of ``vm`` until the host is full; returns count.
+
+        Generated names carry a monotonically increasing per-host
+        sequence so repeated ``fill_with`` calls on one host never
+        collide with names admitted earlier.
+        """
         admitted = 0
         while admitted < limit and self.admit(
-            ResidentVM(f"{vm.name}#{admitted}", vm.fast_mb, vm.slow_mb)
+            ResidentVM(f"{vm.name}#{self._fill_seq}", vm.fast_mb, vm.slow_mb)
         ):
             admitted += 1
+            self._fill_seq += 1
         return admitted
 
 

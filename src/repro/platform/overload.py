@@ -232,8 +232,19 @@ class CircuitBreaker:
     path; reaching the threshold opens the breaker.  After
     ``cooldown_s`` of simulated time the breaker half-opens and admits
     exactly one probe: its success closes the breaker, its failure
-    re-opens it for another cool-down.  Fallback-served requests are not
-    recorded — they say nothing about the tiered path's health.
+    re-opens it for another cool-down.  While the probe is in flight,
+    :meth:`try_acquire_probe` refuses further probes — concurrent
+    requests arriving half-open are served via fallback (or shed, for
+    fail-fast batch traffic) instead of stampeding the recovering path.
+    Fallback-served requests are not recorded — they say nothing about
+    the tiered path's health.
+
+    The probe stays in flight in *simulated* time: its outcome is
+    stashed by :meth:`record_outcome` and applied by the first
+    :meth:`poll` at or after the probe's finish timestamp.  A request
+    arriving while the probe is still running must not see a breaker
+    state that already incorporates an outcome from its future — it is
+    gated to the fallback path like any other half-open arrival.
     """
 
     def __init__(self, threshold: int, cooldown_s: float) -> None:
@@ -247,35 +258,91 @@ class CircuitBreaker:
         self.consecutive_failures = 0
         self.opened_at_s = 0.0
         self.trips = 0
+        self.probe_in_flight = False
+        self.probes_refused = 0
+        self._pending_probe: tuple[bool, float] | None = None
 
     def poll(self, now_s: float) -> list[tuple[BreakerState, BreakerState, str]]:
         """Advance time-driven transitions; returns them for telemetry."""
+        transitions: list[tuple[BreakerState, BreakerState, str]] = []
+        if (
+            self.state is BreakerState.HALF_OPEN
+            and self._pending_probe is not None
+            and now_s >= self._pending_probe[1]
+        ):
+            success, resolved_at = self._pending_probe
+            self._pending_probe = None
+            self.probe_in_flight = False
+            if success:
+                self.consecutive_failures = 0
+                self.state = BreakerState.CLOSED
+                transitions.append(
+                    (BreakerState.HALF_OPEN, BreakerState.CLOSED,
+                     "probe-succeeded")
+                )
+            else:
+                self.consecutive_failures += 1
+                self.state = BreakerState.OPEN
+                self.opened_at_s = resolved_at
+                self.trips += 1
+                transitions.append(
+                    (BreakerState.HALF_OPEN, BreakerState.OPEN, "probe-failed")
+                )
         if (
             self.state is BreakerState.OPEN
             and now_s >= self.opened_at_s + self.cooldown_s
         ):
             self.state = BreakerState.HALF_OPEN
-            return [(BreakerState.OPEN, BreakerState.HALF_OPEN, "cooldown-elapsed")]
-        return []
+            self.probe_in_flight = False
+            self._pending_probe = None
+            transitions.append(
+                (BreakerState.OPEN, BreakerState.HALF_OPEN, "cooldown-elapsed")
+            )
+        return transitions
+
+    def try_acquire_probe(self) -> bool:
+        """Claim the half-open breaker's single probe slot.
+
+        Returns True for exactly one caller while half-open with no
+        probe outstanding; every other caller (wrong state, or a probe
+        already in flight) gets False and must take the fallback path.
+        The slot is released by the probe's :meth:`record_outcome`.
+        """
+        if self.state is not BreakerState.HALF_OPEN or self.probe_in_flight:
+            if self.state is BreakerState.HALF_OPEN:
+                self.probes_refused += 1
+            return False
+        self.probe_in_flight = True
+        return True
+
+    def release_probe(self) -> None:
+        """Return an acquired probe slot without recording an outcome.
+
+        For the probe request that never reaches the tiered path after
+        all — e.g. rejected by host-memory admission — so the slot is
+        not leaked (a leaked slot would pin the breaker half-open and
+        refuse every future probe).
+        """
+        if self.state is BreakerState.HALF_OPEN and self._pending_probe is None:
+            self.probe_in_flight = False
 
     def record_outcome(
         self, success: bool, now_s: float
     ) -> list[tuple[BreakerState, BreakerState, str]]:
-        """Record a tiered-path outcome; returns any transitions."""
+        """Record a tiered-path outcome; returns any transitions.
+
+        A half-open probe's outcome is *deferred*: it is stashed here
+        with its finish timestamp and applied by the first :meth:`poll`
+        at or after that instant, keeping the probe in flight for
+        requests that arrive while it is still running.
+        """
+        if self.state is BreakerState.HALF_OPEN:
+            self._pending_probe = (success, now_s)
+            return []
         if success:
             self.consecutive_failures = 0
-            if self.state is BreakerState.HALF_OPEN:
-                self.state = BreakerState.CLOSED
-                return [
-                    (BreakerState.HALF_OPEN, BreakerState.CLOSED, "probe-succeeded")
-                ]
             return []
         self.consecutive_failures += 1
-        if self.state is BreakerState.HALF_OPEN:
-            self.state = BreakerState.OPEN
-            self.opened_at_s = now_s
-            self.trips += 1
-            return [(BreakerState.HALF_OPEN, BreakerState.OPEN, "probe-failed")]
         if (
             self.state is BreakerState.CLOSED
             and self.consecutive_failures >= self.threshold

@@ -76,6 +76,11 @@ class PrewarmPolicy:
     speculative restore is pinned memory the platform cannot spare) once
     the platform leaves HEALTHY.  Predictors keep observing arrivals so
     prediction quality survives the suspension."""
+    fleet_throttled: bool = False
+    """Cluster-level pressure switch: a degraded *fleet* suspends
+    pre-warming on every host during recovery storms, independently of
+    (and overriding) the host's own ladder, which only writes
+    :attr:`enabled`."""
 
     def observe(self, name: str, arrival_s: float) -> None:
         """Feed one arrival into the function's predictor."""
@@ -89,7 +94,7 @@ class PrewarmPolicy:
         Call *before* :meth:`observe` for the same arrival (the platform
         predicts from past arrivals only).
         """
-        if not self.enabled:
+        if not self.enabled or self.fleet_throttled:
             # Suspended under pressure: no speculative restores happen,
             # so nothing can be hidden.
             self.misses += 1

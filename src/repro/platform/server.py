@@ -40,6 +40,7 @@ from .capacity import HostCapacity, ResidentVM
 from .keepalive import KeepAliveCache
 from .overload import (
     BreakerState,
+    CircuitBreaker,
     HealthState,
     OverloadConfig,
     OverloadPolicy,
@@ -152,6 +153,10 @@ class ServerlessPlatform:
             overload = OverloadPolicy(overload)
         self.overload = overload
         self.capacity = capacity
+        self.span_prefix = ""
+        """Prefix for every span/trace-event name this platform records
+        (e.g. ``"host3/"`` when serving as one host of a cluster fleet).
+        Empty by default, which keeps single-host traces byte-identical."""
         self._capacity_leases: list[tuple[float, str]] = []
         self.deployments: dict[str, FunctionDeployment] = {}
         self.log: list[RequestLogEntry] = []
@@ -352,6 +357,7 @@ class ServerlessPlatform:
             setup_budget_s: float | None = None
             deadline_s: float | None = None
             shed_reason: ShedReason | None = None
+            probe_breaker: CircuitBreaker | None = None
             queue_delay_s = max(0.0, cores[0] - arrival)
             if ov is not None:
                 pressure = (
@@ -424,6 +430,26 @@ class ServerlessPlatform:
                                 shed_reason = ShedReason.BREAKER_OPEN
                             else:
                                 force_fallback = True
+                        elif breaker.state is BreakerState.HALF_OPEN:
+                            # Half-open admits exactly one in-flight probe
+                            # onto the recovering tiered path; concurrent
+                            # requests take the same fallback/shed exits
+                            # as while open instead of stampeding it.
+                            would_probe = (
+                                not force_fallback
+                                and not ov.ladder.force_fallback
+                                and dep.controller.phase is Phase.TIERED
+                            )
+                            if would_probe and breaker.try_acquire_probe():
+                                probe_breaker = breaker
+                            elif would_probe:
+                                if (
+                                    ov.config.breaker_fail_fast
+                                    and req_class is RequestClass.BATCH
+                                ):
+                                    shed_reason = ShedReason.BREAKER_OPEN
+                                else:
+                                    force_fallback = True
                 if ov.ladder.force_fallback:
                     force_fallback = True
                 if shed_reason is not None:
@@ -451,7 +477,10 @@ class ServerlessPlatform:
                 vm = self._resident_footprint(dep, len(self.log) + len(batch))
                 if not self.capacity.admit(vm):
                     # Host memory admission: a full host rejects the VM —
-                    # a shed decision, not an error.
+                    # a shed decision, not an error.  A half-open probe
+                    # that never ran returns its slot.
+                    if probe_breaker is not None:
+                        probe_breaker.release_probe()
                     self._shed_request(
                         batch,
                         name=name,
@@ -474,7 +503,7 @@ class ServerlessPlatform:
                 # controller's child spans on the request's timeline.
                 obs.tracer.seek(start)
                 span = obs.tracer.start_span(
-                    f"request/{name}",
+                    f"{self.span_prefix}request/{name}",
                     start_s=arrival,
                     attrs={
                         "function": name,
@@ -758,7 +787,7 @@ class ServerlessPlatform:
         obs = obs_runtime.active()
         if obs is not None:
             obs.tracer.record(
-                f"request/{name}",
+                f"{self.span_prefix}request/{name}",
                 0.0,
                 start_s=arrival,
                 attrs={
@@ -829,7 +858,9 @@ class ServerlessPlatform:
             attrs = {"function": function, "invocation": invocation, **detail}
             if at_s is not None:
                 attrs["at_s"] = at_s
-            obs.tracer.event(f"telemetry/{kind.value}", attrs=attrs)
+            obs.tracer.event(
+                f"{self.span_prefix}telemetry/{kind.value}", attrs=attrs
+            )
 
     # -- keep-alive integration ----------------------------------------------------
 

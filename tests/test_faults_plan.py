@@ -11,6 +11,7 @@ from repro.faults import (
     ZERO_PLAN,
     FaultInjector,
     FaultPlan,
+    HostFaultSpec,
     ProfilerFaultSpec,
     SnapshotFaultSpec,
     StorageFaultSpec,
@@ -61,6 +62,65 @@ class TestPlanValidation:
         assert spec.effective_retry_success_rate == pytest.approx(0.8)
         pinned = StorageFaultSpec(read_error_rate=0.2, retry_success_rate=0.5)
         assert pinned.effective_retry_success_rate == 0.5
+
+
+class TestHostFaultSpec:
+    def test_host_faults_make_plan_nonzero(self):
+        spec = HostFaultSpec(host=0, crash_windows=((1.0, 2.0),))
+        assert not spec.is_zero
+        assert not FaultPlan(hosts=(spec,)).is_zero
+        # A spec with no windows injects nothing.
+        assert HostFaultSpec(host=0).is_zero
+        assert FaultPlan(hosts=(HostFaultSpec(host=0),)).is_zero
+
+    def test_duplicate_host_specs_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultPlan(
+                hosts=(
+                    HostFaultSpec(host=1, crash_windows=((1.0, 2.0),)),
+                    HostFaultSpec(host=1, partition_windows=((3.0, 4.0),)),
+                )
+            )
+
+    def test_host_index_and_windows_validated(self):
+        with pytest.raises(ConfigError):
+            HostFaultSpec(host=-1)
+        with pytest.raises(ConfigError):
+            HostFaultSpec(host=0, crash_windows=((5.0, 5.0),))
+        with pytest.raises(ConfigError):
+            HostFaultSpec(host=0, partition_windows=((2.0, 1.0),))
+
+    def test_down_and_partitioned_are_half_open_intervals(self):
+        spec = HostFaultSpec(
+            host=0,
+            crash_windows=((1.0, 2.0),),
+            partition_windows=((3.0, 4.0),),
+        )
+        assert not spec.down_at(0.5)
+        assert spec.down_at(1.0)
+        assert spec.down_at(1.999)
+        assert not spec.down_at(2.0)
+        assert spec.partitioned_at(3.5)
+        assert not spec.partitioned_at(4.0)
+        # Routable exactly when neither crashed nor partitioned.
+        assert spec.routable_at(2.5)
+        assert not spec.routable_at(1.5)
+        assert not spec.routable_at(3.5)
+
+    def test_crash_overlapping_matches_service_intervals(self):
+        spec = HostFaultSpec(host=0, crash_windows=((2.0, 6.0),))
+        assert spec.crash_overlapping(1.0, 1.5) is None
+        assert spec.crash_overlapping(6.0, 7.0) is None
+        # Straddling the start, fully inside, straddling the end.
+        assert spec.crash_overlapping(1.9, 2.1) == (2.0, 6.0)
+        assert spec.crash_overlapping(3.0, 4.0) == (2.0, 6.0)
+        assert spec.crash_overlapping(5.9, 6.5) == (2.0, 6.0)
+
+    def test_plan_host_spec_lookup(self):
+        spec = HostFaultSpec(host=2, crash_windows=((1.0, 2.0),))
+        plan = FaultPlan(hosts=(spec,))
+        assert plan.host_spec(2) is spec
+        assert plan.host_spec(0) is None
 
 
 class TestInjectorDeterminism:

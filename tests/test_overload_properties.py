@@ -135,14 +135,21 @@ class TestBreakerLiveness:
             now += 0.1
             breaker.poll(now)
             breaker.record_outcome(success, now)
+        # Resolve any in-flight probe; a failed one chains straight
+        # through its fresh cool-down at this late poll time.
+        end = now + cooldown + 1.0
+        breaker.poll(end)
         if breaker.state is BreakerState.OPEN:
             # However the history went: one poll past the cool-down
             # half-opens the breaker ...
             breaker.poll(breaker.opened_at_s + breaker.cooldown_s)
             assert breaker.state is BreakerState.HALF_OPEN
         if breaker.state is BreakerState.HALF_OPEN:
-            # ... and a recovering backend (one good probe) closes it.
-            breaker.record_outcome(True, now + cooldown + 1.0)
+            # ... and a recovering backend (one good probe) closes it
+            # once the probe's finish timestamp is polled past.
+            end += cooldown + 1.0
+            breaker.record_outcome(True, end)
+            breaker.poll(end)
         assert breaker.state is BreakerState.CLOSED or (
             breaker.state is BreakerState.OPEN
             and breaker.consecutive_failures >= threshold

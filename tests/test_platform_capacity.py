@@ -24,15 +24,45 @@ class TestHostCapacity:
     def test_release(self):
         host = HostCapacity(1024, 0)
         host.admit(ResidentVM("a", 512, 0))
-        assert host.release("a")
-        assert not host.release("a")
+        host.release("a")
         assert host.used_fast_mb == 0
+
+    def test_unknown_release_is_a_typed_error(self):
+        """Satellite: a double release (or a release of a name never
+        admitted) is an accounting bug and must surface, not be
+        silently tolerated."""
+        host = HostCapacity(1024, 0)
+        host.admit(ResidentVM("a", 512, 0))
+        host.release("a")
+        with pytest.raises(SchedulerError, match="no resident VM named 'a'"):
+            host.release("a")
+        with pytest.raises(SchedulerError, match="'ghost'"):
+            host.release("ghost")
+
+    def test_duplicate_admit_is_a_typed_error(self):
+        """Satellite: admitting a second VM under a resident name would
+        make the release handle ambiguous — it must raise."""
+        host = HostCapacity(1024, 0)
+        assert host.admit(ResidentVM("a", 128, 0))
+        with pytest.raises(SchedulerError, match="already resident"):
+            host.admit(ResidentVM("a", 128, 0))
+        # After release the name is free again.
+        host.release("a")
+        assert host.admit(ResidentVM("a", 128, 0))
 
     def test_fill_with(self):
         host = HostCapacity(1024, 8192)
         count = host.fill_with(ResidentVM("f", 128, 896))
         assert count == 8  # 8 * 128 = 1024 MB of DRAM
         assert host.used_fast_mb == pytest.approx(1024)
+
+    def test_repeated_fill_with_never_collides(self):
+        host = HostCapacity(1024, 8192)
+        assert host.fill_with(ResidentVM("f", 128, 896)) == 8
+        for i in range(8):
+            host.release(f"f#{i}")
+        # A second fill on the same host generates fresh names.
+        assert host.fill_with(ResidentVM("f", 128, 896)) == 8
 
     def test_invalid_inputs(self):
         with pytest.raises(SchedulerError):

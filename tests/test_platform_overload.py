@@ -164,16 +164,59 @@ class TestCircuitBreakerUnit:
         assert trans == [
             (BreakerState.OPEN, BreakerState.HALF_OPEN, "cooldown-elapsed")
         ]
+        # A probe's outcome is deferred to its finish timestamp: the
+        # breaker stays half-open (probe in flight) until polled past it.
+        assert breaker.record_outcome(False, 6.1) == []
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.poll(6.05) == []
         # A failing probe re-opens for a fresh cool-down ...
-        breaker.record_outcome(False, 6.1)
-        assert breaker.state is BreakerState.OPEN
+        trans = breaker.poll(6.1)
+        assert trans == [
+            (BreakerState.HALF_OPEN, BreakerState.OPEN, "probe-failed")
+        ]
         assert breaker.poll(7.0) == []
         breaker.poll(7.1)
         # ... and a succeeding probe closes.
-        trans = breaker.record_outcome(True, 7.2)
+        assert breaker.record_outcome(True, 7.2) == []
+        trans = breaker.poll(7.2)
         assert trans == [
             (BreakerState.HALF_OPEN, BreakerState.CLOSED, "probe-succeeded")
         ]
+
+    def test_half_open_single_probe_slot(self):
+        breaker = CircuitBreaker(1, 1.0)
+        breaker.record_outcome(False, 0.0)
+        breaker.poll(1.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        # Exactly one caller claims the slot; the rest are refused.
+        assert breaker.try_acquire_probe()
+        assert not breaker.try_acquire_probe()
+        assert not breaker.try_acquire_probe()
+        assert breaker.probes_refused == 2
+        # The slot stays held while the probe's outcome is pending ...
+        breaker.record_outcome(False, 1.4)
+        assert not breaker.try_acquire_probe()
+        assert breaker.probes_refused == 3
+        # ... and a fresh half-open window gets a fresh slot.
+        breaker.poll(1.4)
+        assert breaker.state is BreakerState.OPEN
+        breaker.poll(2.4)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.try_acquire_probe()
+
+    def test_release_probe_returns_slot(self):
+        breaker = CircuitBreaker(1, 1.0)
+        breaker.record_outcome(False, 0.0)
+        breaker.poll(1.0)
+        assert breaker.try_acquire_probe()
+        # The probe never ran (e.g. capacity-shed): the slot comes back.
+        breaker.release_probe()
+        assert breaker.try_acquire_probe()
+
+    def test_closed_breaker_has_no_probe_slot(self):
+        breaker = CircuitBreaker(1, 1.0)
+        assert not breaker.try_acquire_probe()
+        assert breaker.probes_refused == 0
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ConfigError):
@@ -429,6 +472,55 @@ class TestCircuitBreakerIntegration:
             for e in log
             if e.request_class == "latency"
         )
+
+    def test_half_open_admits_exactly_one_probe(self, tiny_function):
+        """Concurrent half-open arrivals must not stampede the probe.
+
+        Regression for the half-open stampede: the probe's outcome used
+        to be applied to the breaker state eagerly at admission time, so
+        requests arriving *while the probe was still running* rode a
+        state from their future and all hit the recovering tiered path
+        at once.  Exactly one of the concurrent arrivals may probe; the
+        rest take the fallback path until the probe's finish has been
+        polled past.
+        """
+        plan = FaultPlan(tier=TierFaultSpec(outage_windows=((2.0, 4.5),)))
+        platform, telemetry = make_platform(
+            OverloadConfig(breaker_failures=2, breaker_cooldown_s=3.0),
+            n_cores=4,
+            faults=FaultInjector(plan),
+        )
+        platform.deploy(tiny_function)
+        requests = [(0.1 * i, "tiny", 3) for i in range(15)]
+        # Two tiered failures inside the outage trip the breaker; the
+        # cool-down ends after the outage does, so the next half-open
+        # probe will succeed.
+        requests += [(2.1, "tiny", 3), (2.2, "tiny", 3)]
+        # Four requests arrive at the same instant while half-open: the
+        # probe's outcome is not known until it finishes, so only one of
+        # them may attempt the tiered path.
+        requests += [(5.6, "tiny", 3)] * 4
+        requests += [(7.5, "tiny", 3)]
+        log = platform.serve(requests)
+
+        breaker = platform.overload.breakers["tiny"]
+        assert breaker.trips == 1
+        wave = [e for e in log if e.arrival_s == 5.6]
+        assert len(wave) == 4
+        probes = [e for e in wave if not e.degraded]
+        assert len(probes) == 1
+        assert breaker.probes_refused == 3
+        # The successful probe closed the breaker once polled past; the
+        # late request rode the tiered path again.
+        assert breaker.state is BreakerState.CLOSED
+        late = [e for e in log if e.arrival_s == 7.5]
+        assert late and not late[0].degraded
+        seen = {
+            (e.detail["from_state"], e.detail["to_state"])
+            for e in telemetry.of_kind(EventKind.BREAKER_TRANSITION)
+        }
+        assert ("half-open", "closed") in seen
+        assert platform.availability() == 1.0
 
 
 class TestHostCapacityAdmission:
