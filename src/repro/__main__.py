@@ -77,6 +77,10 @@ def _run_resilience():
     return ex.fleet_resilience.run().table.render()
 
 
+def _run_durability():
+    return ex.durability.run().table.render()
+
+
 def _run_ablations():
     return "\n\n".join(
         t.render()
@@ -104,6 +108,10 @@ EXPERIMENTS = {
     "fleet": ("Extension: fleet packing density and bill savings", _run_fleet),
     "resilience": (
         "Extension: cluster availability vs hosts lost", _run_resilience
+    ),
+    "durability": (
+        "Extension: snapshot durability vs bit-rot, replication and scrub",
+        _run_durability,
     ),
 }
 

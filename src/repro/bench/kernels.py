@@ -21,6 +21,9 @@ dominates real runs:
 * ``cluster_c100`` / ``cluster_chaos`` — the cluster fleet layer serving
   a steady stream on 4 hosts, fault-free and with two hosts crashing
   mid-stream (kills, re-dispatch, re-placement, fleet ladder).
+* ``scrub_fleet`` — the same fleet under elevated bit-rot with a 1s
+  scrub cadence: at-rest aging, token-bucket scrub I/O and chunk repair
+  from replicas on every wave boundary.
 
 Kernels tagged ``smoke`` form the CI subset
 (``python -m repro bench --filter smoke``).
@@ -228,6 +231,57 @@ def _cluster_chaos_run(mods):
     return _cluster_run_fleet(mods, plan_hosts=2)
 
 
+def _scrub_fleet_setup():
+    from ..cluster import ClusterConfig, ClusterPlatform, steady_requests
+    from ..cluster import FLEET_SUITE
+    from ..core.toss import TossConfig
+    from ..durability import ScrubConfig
+    from ..faults.plan import BitRotSpec, FaultPlan
+
+    return {
+        "ClusterConfig": ClusterConfig,
+        "ClusterPlatform": ClusterPlatform,
+        "FLEET_SUITE": FLEET_SUITE,
+        "steady_requests": steady_requests,
+        "TossConfig": TossConfig,
+        "ScrubConfig": ScrubConfig,
+        "BitRotSpec": BitRotSpec,
+        "FaultPlan": FaultPlan,
+    }
+
+
+def _scrub_fleet_run(mods):
+    # The durability plane end to end: at-rest aging at every wave
+    # boundary, scrub passes on the event loop (token-bucket contention
+    # against restores) and chunk repair from replicas.
+    plan = mods["FaultPlan"](
+        bitrot=mods["BitRotSpec"](
+            ssd_rate_per_page_s=2e-5,
+            pmem_rate_per_page_s=1e-5,
+            latent_sector_rate_per_s=0.2,
+            torn_write_rate=0.2,
+        )
+    )
+    cluster = mods["ClusterPlatform"](
+        mods["ClusterConfig"](n_hosts=4, replication_factor=2),
+        toss_cfg=mods["TossConfig"](
+            convergence_window=3, min_profiling_invocations=3
+        ),
+        plan=plan,
+        scrub=mods["ScrubConfig"](interval_s=1.0, ops_per_page=0.25),
+    )
+    cluster.deploy_fleet(list(mods["FLEET_SUITE"]))
+    cluster.serve(
+        mods["steady_requests"](
+            n_requests=_CLUSTER_REQUESTS, duration_s=8.0
+        )
+    )
+    assert cluster.durability is not None
+    if cluster.durability.unaccounted():
+        raise AssertionError("durability ledger out of balance")
+    return cluster.durability.summary()["scrub_chunks"]
+
+
 KERNELS: tuple[BenchKernel, ...] = (
     BenchKernel(
         name="fig9_c100",
@@ -288,6 +342,13 @@ KERNELS: tuple[BenchKernel, ...] = (
         description="4-host cluster, 2 hosts crash mid-stream (rf=2)",
         setup=_cluster_setup,
         run=_cluster_chaos_run,
+        ops=_CLUSTER_REQUESTS,
+    ),
+    BenchKernel(
+        name="scrub_fleet",
+        description="4-host cluster under bit-rot with 1s scrub cadence",
+        setup=_scrub_fleet_setup,
+        run=_scrub_fleet_run,
         ops=_CLUSTER_REQUESTS,
     ),
 )

@@ -42,10 +42,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from .. import rng as rng_mod
 from ..core.telemetry import TelemetryLog
 from ..core.toss import Phase, TossConfig
+from ..durability import DurabilityManager, ScrubConfig
 from ..errors import ClusterError, SchedulerError
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
@@ -143,7 +145,7 @@ class _Pending:
     kills: int = 0
     backoff_s: float = 0.0
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[float, str, int, str, int]:
         return (
             self.dispatch_s,
             self.function,
@@ -161,6 +163,10 @@ class _PendingReplacement:
     function: str
     host: int
     applied: bool = field(default=False)
+    force: bool = field(default=False)
+    """Adopt even onto a controller that has served before — used by the
+    durability plane to re-seed a host whose local files were evicted
+    after unrepairable corruption (no local state left to clobber)."""
 
 
 class ClusterPlatform:
@@ -176,6 +182,7 @@ class ClusterPlatform:
         prewarm: bool = False,
         overload: OverloadConfig | None = None,
         telemetry: TelemetryLog | None = None,
+        scrub: ScrubConfig | None = None,
     ) -> None:
         self.config = config
         self.plan = plan
@@ -228,6 +235,16 @@ class ClusterPlatform:
             spec = plan.host_spec(hid) if plan is not None else None
             self.hosts.append(Host(hid, platform, spec))
 
+        # The durability plane exists only when there is something for it
+        # to do (a nonzero bit-rot domain, or an explicit scrub config):
+        # zero-fault runs take exactly the pre-durability code path.
+        bitrot_active = plan is not None and not plan.bitrot.is_zero
+        self.durability: DurabilityManager | None = (
+            DurabilityManager(self, scrub)
+            if bitrot_active or scrub is not None
+            else None
+        )
+
     # -- deployment -----------------------------------------------------------
 
     def deploy(self, function: FunctionModel) -> list[int]:
@@ -251,7 +268,7 @@ class ClusterPlatform:
 
     # -- request validation ---------------------------------------------------
 
-    def _validated(self, requests: list[tuple]) -> list[_Pending]:
+    def _validated(self, requests: list[tuple[Any, ...]]) -> list[_Pending]:
         pending: list[_Pending] = []
         for req in requests:
             if len(req) == 3:
@@ -389,6 +406,7 @@ class ClusterPlatform:
                     self.hosts[source_hid]
                     .platform.deployments[rep.function]
                     .controller,
+                    force=rep.force,
                 )
             applied = Replacement(
                 effective_s=rep.effective_s,
@@ -404,6 +422,21 @@ class ClusterPlatform:
                     "toss_cluster_replacements_total",
                     "Snapshot re-placements after host crashes",
                 ).inc(cold=str(source_hid is None).lower())
+
+    def schedule_re_replication(
+        self, function: str, host: int, t_s: float
+    ) -> None:
+        """Schedule a repair copy back onto ``host`` after a durability
+        eviction, through the same pending-replacement bookkeeping host
+        crashes use (effective after ``re_replication_delay_s``)."""
+        self._pending_replacements.append(
+            _PendingReplacement(
+                t_s + self.config.re_replication_delay_s,
+                function,
+                host,
+                force=True,
+            )
+        )
 
     def _adoption_source(
         self, name: str, t_s: float, exclude: int | None = None
@@ -429,6 +462,34 @@ class ClusterPlatform:
         copy that makes a standby warm before it is ever routed to)."""
         if self.config.replication_factor < 2 and not self.replacements_applied:
             return
+        if self.durability is not None:
+            # The durability plane replicates the single-tier *file*
+            # eagerly (before profiling converges), so a function's only
+            # copy can never rot away during its early life.  Gated on
+            # the plane so fault-free runs keep the pre-durability
+            # replication timeline exactly.
+            for name, function in self.functions.items():
+                src = None
+                src_hid = None
+                for hid in self.placement.holders_at(name, t_s):
+                    if not self.hosts[hid].reachable_at(t_s):
+                        continue
+                    dep = self.hosts[hid].platform.deployments.get(name)
+                    if (
+                        dep is not None
+                        and dep.controller.single_snapshot is not None
+                    ):
+                        src = dep.controller
+                        src_hid = hid
+                        break
+                if src is None:
+                    continue
+                for hid in self.placement.holders_at(name, t_s):
+                    if hid == src_hid:
+                        continue
+                    target = self.hosts[hid]
+                    if target.reachable_at(t_s):
+                        target.adopt_single_file(function, src)
         for name, function in self.functions.items():
             source_hid = self._adoption_source(name, t_s)
             if source_hid is None:
@@ -523,11 +584,19 @@ class ClusterPlatform:
 
     # -- serving --------------------------------------------------------------
 
-    def serve(self, requests: list[tuple]) -> list[ClusterRequestOutcome]:
+    def serve(self, requests: list[tuple[Any, ...]]) -> list[ClusterRequestOutcome]:
         """Serve a batch across the fleet; returns one outcome per
         request (in final settlement order, sorted by submission)."""
         pending = self._validated(requests)
         boundaries = self._boundaries()
+        if self.durability is not None and pending:
+            # Scrub ticks split waves too, so a pass's detections and
+            # repairs land between sub-batches, not after the whole run.
+            horizon = max(r.arrival_s for r in pending)
+            boundaries = sorted(
+                set(boundaries)
+                | set(self.durability.scrub_boundaries(horizon))
+            )
         outcomes: list[ClusterRequestOutcome] = []
         max_waves = (
             (len(boundaries) + 1)
@@ -549,6 +618,8 @@ class ClusterPlatform:
                     wave_end = boundary
                     break
             self._schedule_repairs(wave_start)
+            if self.durability is not None:
+                self.durability.advance_to(wave_start)
             self._apply_repairs(wave_start)
             self._sync_replicas(wave_start)
 
@@ -642,6 +713,11 @@ class ClusterPlatform:
                 # boundary — a crash *at* the boundary cannot reach back
                 # and undo a copy that already landed.
                 self._sync_replicas(math.nextafter(wave_end, -math.inf))
+        if self.durability is not None:
+            # Settle the durability ledger for this batch: every injected
+            # corruption ends detected and typed (unaccounted() == 0).
+            end = max((o.finish_s for o in outcomes), default=0.0)
+            self.durability.finalize(end)
         outcomes.sort(
             key=lambda o: (
                 o.arrival_s,

@@ -88,8 +88,38 @@ class Host:
 
     # -- replication ----------------------------------------------------------
 
-    def adopt_prepared(
+    def adopt_single_file(
         self, function: FunctionModel, source: TossController
+    ) -> bool:
+        """Adopt a peer's single-tier snapshot *file* only.
+
+        The durability plane's eager replication: the single-tier memory
+        file is copied to replica holders as soon as it exists, closing
+        the early-life window in which a function's only copy could rot
+        before profiling converges.  The copy is at-rest state for scrub
+        repair — a controller in INITIAL never restores from it (its
+        first invocation still boots and captures its own snapshot), so
+        serving behavior is unchanged.
+        """
+        if source.single_snapshot is None:
+            return False
+        dep = self.platform.deploy(function)
+        ctl = dep.controller
+        if (
+            dep.invocations > 0
+            or ctl.phase is not Phase.INITIAL
+            or ctl.single_snapshot is not None
+        ):
+            return False
+        ctl.single_snapshot = source.single_snapshot.copy()
+        return True
+
+    def adopt_prepared(
+        self,
+        function: FunctionModel,
+        source: TossController,
+        *,
+        force: bool = False,
     ) -> bool:
         """Adopt a peer's prepared (converged) snapshot state.
 
@@ -99,6 +129,12 @@ class Host:
         Only a controller that has never served (no local state to
         clobber) adopts; snapshot arrays are physically copied so a later
         at-rest corruption on one host never leaks to its replicas.
+
+        ``force`` re-admits a controller whose local files were *evicted*
+        (unrecoverable corruption sent it back to INITIAL with no
+        snapshots) — it has served before, but there is no local state
+        left to clobber.  Even forced, a controller holding any snapshot
+        never adopts.
         """
         if source.tiered_snapshot is None or source.single_snapshot is None:
             raise ClusterError(
@@ -107,7 +143,13 @@ class Host:
         dep = self.platform.deploy(function)
         ctl = dep.controller
         if dep.invocations > 0 or ctl.phase is not Phase.INITIAL:
-            return False
+            evicted = (
+                ctl.phase is Phase.INITIAL
+                and ctl.single_snapshot is None
+                and ctl.tiered_snapshot is None
+            )
+            if not (force and evicted):
+                return False
         src_tiered = source.tiered_snapshot
         ctl.single_snapshot = source.single_snapshot.copy()
         ctl.tiered_snapshot = TieredSnapshot(

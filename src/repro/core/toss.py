@@ -314,6 +314,51 @@ class TossController:
             return 0.0
         return self.tiered_snapshot.slow_fraction
 
+    # -- durability hooks -------------------------------------------------------
+
+    def force_reprofile(self, reason: str) -> bool:
+        """Degrade to the profiling phase, dropping the tiered files.
+
+        The re-snapshot rung of the durability repair ladder: when the
+        tiered copy is damaged beyond replica repair but the single-tier
+        file is intact, the scrubber discards the tiered snapshot and the
+        next invocations regenerate it through the ordinary profiling
+        pipeline.  Returns False when there is nothing to regenerate from
+        (no single-tier snapshot yet).
+        """
+        if self.single_snapshot is None:
+            return False
+        self._emit(
+            EventKind.PHASE_DEGRADED,
+            transition=f"{self.phase.value}->profiling",
+            reason=reason,
+        )
+        self.tiered_snapshot = None
+        self._consecutive_restore_failures = 0
+        self.phase = Phase.PROFILING
+        self._reset_profiling_state()
+        return True
+
+    def evict_snapshots(self, reason: str) -> None:
+        """Discard every local snapshot file and restart the lifecycle.
+
+        The last rung of the repair ladder: all local copies are damaged,
+        so the function reboots cold (phase INITIAL) on its next
+        invocation — either here, or on a re-replication target that
+        adopts a surviving replica's state first.
+        """
+        self._emit(
+            EventKind.PHASE_DEGRADED,
+            transition=f"{self.phase.value}->initial",
+            reason=reason,
+        )
+        self.single_snapshot = None
+        self.tiered_snapshot = None
+        self.analysis = None
+        self._consecutive_restore_failures = 0
+        self.phase = Phase.INITIAL
+        self._reset_profiling_state()
+
     # -- Step I -----------------------------------------------------------------
 
     def _initial_invocation(self, input_index: int, seed: int) -> InvocationOutcome:

@@ -1,0 +1,116 @@
+"""The corruption ledger: every injected corruption, typed end to end.
+
+Mirror of the cluster layer's no-request-lost guarantee, for durability:
+no corruption is ever silently absorbed.  Each injection becomes a
+:class:`CorruptionEvent`; detection stamps *how* it was found (a scrub
+pass or a failed restore) and resolution stamps *what* was done about it
+(a replica chunk repair, a re-profile/re-snapshot, a cold rebuild, or an
+unrecoverable eviction).  ``DurabilityLedger.unaccounted()`` counts
+events missing either stamp — the durability experiments assert it is
+zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = [
+    "DETECTED_BY",
+    "OUTCOMES",
+    "CorruptionEvent",
+    "DurabilityLedger",
+]
+
+DETECTED_BY = ("scrub", "restore")
+"""How damage can be found: a background scrub read, or the checksum
+verification of a restore that tripped over it."""
+
+OUTCOMES = (
+    "repaired-replica",
+    "re-snapshot",
+    "rebuilt-cold",
+    "evicted-unrecoverable",
+)
+"""The repair ladder's typed resolutions, best to worst:
+``repaired-replica`` (clean chunks fetched from a live copy),
+``re-snapshot`` (function degraded to regenerate its tiered files from
+the intact single-tier file), ``rebuilt-cold`` (all local files lost; the
+function reboots cold and a re-replication copy is scheduled), and
+``evicted-unrecoverable`` (no clean copy exists anywhere — true data
+loss)."""
+
+
+@dataclass
+class CorruptionEvent:
+    """One injected corruption, from injection through resolution."""
+
+    injected_s: float
+    """Simulated time the damage landed at rest."""
+    host: int
+    function: str
+    copy: str
+    """Which file rotted: ``"single"`` or ``"tiered"``."""
+    cause: str
+    """Decay mode: ``"bitrot"``, ``"latent-sector"`` or ``"torn-write"``."""
+    pages: int
+    """Pages damaged by this event."""
+    detected_by: str = ""
+    """``"scrub"`` or ``"restore"`` once found; empty while latent."""
+    detected_s: float = -1.0
+    outcome: str = ""
+    """One of :data:`OUTCOMES` once resolved; empty while open."""
+    resolved_s: float = -1.0
+
+    @property
+    def accounted(self) -> bool:
+        """Detected *and* resolved with typed stamps."""
+        return self.detected_by in DETECTED_BY and self.outcome in OUTCOMES
+
+    def detect(self, by: str, t_s: float) -> None:
+        """Stamp detection (first detection wins; later ones are no-ops)."""
+        if by not in DETECTED_BY:
+            raise ConfigError(f"unknown detection source {by!r}")
+        if self.detected_by:
+            return
+        self.detected_by = by
+        self.detected_s = t_s
+
+    def resolve(self, outcome: str, t_s: float) -> None:
+        """Stamp resolution (first resolution wins)."""
+        if outcome not in OUTCOMES:
+            raise ConfigError(f"unknown outcome {outcome!r}")
+        if self.outcome:
+            return
+        self.outcome = outcome
+        self.resolved_s = t_s
+
+
+@dataclass
+class DurabilityLedger:
+    """Append-only record of every corruption the run absorbed."""
+
+    events: list[CorruptionEvent] = field(default_factory=list)
+
+    def record(self, event: CorruptionEvent) -> CorruptionEvent:
+        """Append one injected corruption."""
+        self.events.append(event)
+        return event
+
+    def unaccounted(self) -> int:
+        """Events missing a detection source or a typed outcome."""
+        return sum(1 for e in self.events if not e.accounted)
+
+    def detected_by(self, by: str) -> int:
+        """Events found by one detection source."""
+        return sum(1 for e in self.events if e.detected_by == by)
+
+    def resolved(self, outcome: str) -> int:
+        """Events resolved with one typed outcome."""
+        return sum(1 for e in self.events if e.outcome == outcome)
+
+    @property
+    def unrecoverable(self) -> int:
+        """True data losses (no clean copy existed anywhere)."""
+        return self.resolved("evicted-unrecoverable")

@@ -24,6 +24,7 @@ Figure 9     :mod:`.fig9_scalability`
 from . import (
     ablations,
     common,
+    durability,
     fleet_resilience,
     fleet_study,
     fig1_ws_characterization,
@@ -41,6 +42,7 @@ from . import (
 __all__ = [
     "ablations",
     "common",
+    "durability",
     "fleet_resilience",
     "fleet_study",
     "fig1_ws_characterization",

@@ -19,6 +19,7 @@ from contextlib import contextmanager
 from .injector import FaultInjector, RetryOutcome
 from .plan import (
     ZERO_PLAN,
+    BitRotSpec,
     FaultPlan,
     HostFaultSpec,
     ProfilerFaultSpec,
@@ -36,6 +37,7 @@ __all__ = [
     "SnapshotFaultSpec",
     "ProfilerFaultSpec",
     "HostFaultSpec",
+    "BitRotSpec",
     "ZERO_PLAN",
     "install",
     "uninstall",

@@ -15,6 +15,7 @@ with request arrival times.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +43,16 @@ class RetryOutcome:
 
 _ZERO_RETRY = RetryOutcome()
 
+_ROT_FLIP = np.uint64(0x0B17)
+"""Version-flip mask for bit-rot damage (any nonzero flip is detectable:
+the checksum mix maps distinct versions to distinct checksums)."""
+
+_TORN_FLIP = np.uint64(0x70B2)
+"""Version-flip mask for torn-write damage (distinct from rot so tests
+can tell the modes apart by inspecting flipped versions)."""
+
+_EMPTY_PAGES = np.empty(0, dtype=np.int64)
+
 
 class FaultInjector:
     """Turns a :class:`FaultPlan` into deterministic injection decisions."""
@@ -59,6 +70,11 @@ class FaultInjector:
             "samples_lost": 0,
             "outages_hit": 0,
             "backpressure_hits": 0,
+            "rot_events": 0,
+            "rot_pages": 0,
+            "latent_sectors": 0,
+            "torn_writes": 0,
+            "torn_pages": 0,
         }
         self._draws: dict[str, int] = {}
 
@@ -188,6 +204,103 @@ class FaultInjector:
         pages = self._rng("snap-pages").choice(snapshot.n_pages, size=n, replace=False)
         snapshot.page_versions[pages] ^= np.uint64(0xDEAD)
         self.counters["corrupted_pages"] += int(n)
+        return pages
+
+    # -- bit-rot (at-rest media decay) -------------------------------------
+
+    def draw_bitrot_pages(
+        self, n_pages: int, residency_s: float, media_class: str
+    ) -> np.ndarray:
+        """Pages scattered-rotted after ``residency_s`` on one medium.
+
+        Each page rots independently with the exponential survival law
+        ``p = 1 - exp(-rate * residency_s)``, so splitting a residency
+        into several aging steps draws from the same distribution as one
+        combined step.  Returns sorted unique page indices (empty for a
+        zero rate or residency).
+        """
+        rate = self.plan.bitrot.rate_for(media_class)
+        if n_pages <= 0 or rate == 0.0 or residency_s <= 0.0:
+            return _EMPTY_PAGES
+        p = 1.0 - math.exp(-rate * residency_s)
+        rng = self._rng("bitrot-scatter")
+        n = int(rng.binomial(n_pages, p))
+        if n == 0:
+            return _EMPTY_PAGES
+        pages = np.sort(rng.choice(n_pages, size=n, replace=False))
+        return pages.astype(np.int64)
+
+    def draw_latent_sector(
+        self, n_pages: int, residency_s: float
+    ) -> np.ndarray:
+        """A latent-sector run that died during ``residency_s``, if any.
+
+        Whole-sector failures hit a contiguous run of
+        ``latent_sector_pages`` pages at ``latent_sector_rate_per_s`` per
+        copy — the burst mode scattered rot cannot produce.
+        """
+        spec = self.plan.bitrot
+        if (
+            n_pages <= 0
+            or spec.latent_sector_rate_per_s == 0.0
+            or residency_s <= 0.0
+        ):
+            return _EMPTY_PAGES
+        p = 1.0 - math.exp(-spec.latent_sector_rate_per_s * residency_s)
+        rng = self._rng("bitrot-sector")
+        if rng.random() >= p:
+            return _EMPTY_PAGES
+        run = min(spec.latent_sector_pages, n_pages)
+        start = int(rng.integers(0, n_pages - run + 1))
+        self.counters["latent_sectors"] += 1
+        return np.arange(start, start + run, dtype=np.int64)
+
+    def rot_snapshot(
+        self, snapshot, residency_s: float, media_class: str
+    ) -> np.ndarray:
+        """Age a snapshot at rest: flip rotted page versions in place.
+
+        Combines scattered rot and latent-sector runs for one residency
+        interval on ``media_class`` media.  Damage persists until the
+        copy is repaired or regenerated; returns the flipped indices
+        (sorted, unique — possibly empty).
+        """
+        spec = self.plan.bitrot
+        if spec.is_zero or residency_s <= 0.0:
+            return _EMPTY_PAGES
+        scattered = self.draw_bitrot_pages(
+            snapshot.n_pages, residency_s, media_class
+        )
+        sector = self.draw_latent_sector(snapshot.n_pages, residency_s)
+        if scattered.size == 0 and sector.size == 0:
+            return _EMPTY_PAGES
+        pages = np.union1d(scattered, sector)
+        # Wrapping add, not XOR: a page rotted twice must stay damaged
+        # (an XOR flip applied twice would silently self-heal, leaving a
+        # recorded corruption that no scrub can ever detect).
+        snapshot.page_versions[pages] += _ROT_FLIP
+        self.counters["rot_events"] += 1
+        self.counters["rot_pages"] += int(pages.size)
+        return pages
+
+    def tear_write(self, snapshot) -> np.ndarray:
+        """Maybe tear a snapshot write: flip the file's tail pages.
+
+        Drawn once per snapshot *write* (generation or replication copy)
+        with probability ``torn_write_rate``; a torn write leaves the
+        final ``torn_write_pages`` pages inconsistent with their
+        checksums.  Returns the flipped indices (empty when intact).
+        """
+        spec = self.plan.bitrot
+        if spec.torn_write_rate == 0.0 or snapshot.n_pages <= 0:
+            return _EMPTY_PAGES
+        if self._rng("bitrot-torn").random() >= spec.torn_write_rate:
+            return _EMPTY_PAGES
+        n = min(spec.torn_write_pages, snapshot.n_pages)
+        pages = np.arange(snapshot.n_pages - n, snapshot.n_pages, dtype=np.int64)
+        snapshot.page_versions[pages] += _TORN_FLIP
+        self.counters["torn_writes"] += 1
+        self.counters["torn_pages"] += int(n)
         return pages
 
     # -- profiler ----------------------------------------------------------

@@ -24,6 +24,7 @@ __all__ = [
     "SnapshotFaultSpec",
     "ProfilerFaultSpec",
     "HostFaultSpec",
+    "BitRotSpec",
     "FaultPlan",
     "ZERO_PLAN",
 ]
@@ -167,6 +168,81 @@ class ProfilerFaultSpec:
 
 
 @dataclass(frozen=True)
+class BitRotSpec:
+    """Silent at-rest decay of snapshot media (the durability domain).
+
+    Three decay modes, all seeded and all scaling with how long a copy
+    has sat unrefreshed on its medium:
+
+    * **Scattered bit-rot** — each page independently rots at a per-media
+      Poisson rate (``<media>_rate_per_page_s``).  Over a residency of
+      ``t`` seconds a page flips with probability ``1 - exp(-rate * t)``,
+      so aging a copy in two steps draws from the same distribution as
+      aging it once — residency accounting is time-consistent.  Rates are
+      per media class: DRAM copies barely rot, PMEM cells wear, SSD
+      blocks lose charge fastest.
+    * **Latent sectors** — whole contiguous runs of
+      ``latent_sector_pages`` pages die together at
+      ``latent_sector_rate_per_s`` per copy (the classic
+      latent-sector-error mode of disk studies).
+    * **Torn writes** — with probability ``torn_write_rate`` per snapshot
+      *write* (generation or replication copy), the final
+      ``torn_write_pages`` pages of the file never land intact.
+
+    All rates default to zero, so this spec is inert unless opted into.
+    """
+
+    dram_rate_per_page_s: float = 0.0
+    pmem_rate_per_page_s: float = 0.0
+    ssd_rate_per_page_s: float = 0.0
+    latent_sector_rate_per_s: float = 0.0
+    latent_sector_pages: int = 16
+    torn_write_rate: float = 0.0
+    torn_write_pages: int = 4
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("dram_rate_per_page_s", self.dram_rate_per_page_s),
+            ("pmem_rate_per_page_s", self.pmem_rate_per_page_s),
+            ("ssd_rate_per_page_s", self.ssd_rate_per_page_s),
+            ("latent_sector_rate_per_s", self.latent_sector_rate_per_s),
+        ):
+            if value < 0.0:
+                raise ConfigError(f"{label} must be non-negative, got {value}")
+        _check_rate("torn_write_rate", self.torn_write_rate)
+        if self.latent_sector_pages < 1:
+            raise ConfigError("latent_sector_pages must be >= 1")
+        if self.torn_write_pages < 1:
+            raise ConfigError("torn_write_pages must be >= 1")
+
+    def rate_for(self, media_class: str) -> float:
+        """The scattered per-page rot rate of one media class."""
+        rates = {
+            "dram": self.dram_rate_per_page_s,
+            "pmem": self.pmem_rate_per_page_s,
+            "ssd": self.ssd_rate_per_page_s,
+        }
+        try:
+            return rates[media_class]
+        except KeyError:
+            raise ConfigError(
+                f"unknown media class {media_class!r} "
+                f"(expected one of {sorted(rates)})"
+            ) from None
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this spec never injects anything."""
+        return (
+            self.dram_rate_per_page_s == 0.0
+            and self.pmem_rate_per_page_s == 0.0
+            and self.ssd_rate_per_page_s == 0.0
+            and self.latent_sector_rate_per_s == 0.0
+            and self.torn_write_rate == 0.0
+        )
+
+
+@dataclass(frozen=True)
 class HostFaultSpec:
     """Faults of one whole host in a cluster fleet.
 
@@ -235,6 +311,7 @@ class FaultPlan:
     tier: TierFaultSpec = field(default_factory=TierFaultSpec)
     snapshot: SnapshotFaultSpec = field(default_factory=SnapshotFaultSpec)
     profiler: ProfilerFaultSpec = field(default_factory=ProfilerFaultSpec)
+    bitrot: BitRotSpec = field(default_factory=BitRotSpec)
     hosts: tuple[HostFaultSpec, ...] = ()
     seed: int = config.DEFAULT_SEED
 
@@ -262,6 +339,7 @@ class FaultPlan:
             and self.tier.is_zero
             and self.snapshot.is_zero
             and self.profiler.is_zero
+            and self.bitrot.is_zero
             and all(spec.is_zero for spec in self.hosts)
         )
 

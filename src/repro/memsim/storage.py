@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .. import config, faults
 from ..errors import ConfigError
 
@@ -25,6 +27,9 @@ class StorageSpec:
     seq_write_bps: float
     random_read_iops: float
     random_write_iops: float
+    media_class: str = "ssd"
+    """Durability media class (``"dram"``/``"pmem"``/``"ssd"``): selects
+    the at-rest bit-rot rate of :class:`repro.faults.BitRotSpec`."""
 
     def __post_init__(self) -> None:
         for label, value in (
@@ -111,6 +116,25 @@ class StorageDevice:
         self.bytes_read += n_pages * config.PAGE_SIZE
         effective_iops = self.spec.random_read_iops / concurrency
         return n_pages / effective_iops + self._fault_stall(n_pages)
+
+    def age_at_rest(self, snapshot, residency_s: float):
+        """Age a snapshot file resting on this device by ``residency_s``.
+
+        The bit-rot entry point of the durability plane: damage (if the
+        active fault plan's :class:`~repro.faults.BitRotSpec` draws any
+        for this device's ``media_class``) is flipped into the snapshot's
+        page versions in place.  Returns the rotted page indices — an
+        empty array without an injector, under a zero plan, or when the
+        draw comes up clean, leaving fault-free runs bit-identical.
+        """
+        if residency_s < 0:
+            raise ConfigError("residency_s must be non-negative")
+        injector = faults.resolve(self.injector)
+        if injector is None or injector.is_zero:
+            return np.empty(0, dtype=np.int64)
+        return injector.rot_snapshot(
+            snapshot, residency_s, self.spec.media_class
+        )
 
     def reset_counters(self) -> None:
         """Zero the I/O accounting (used between experiment repetitions)."""

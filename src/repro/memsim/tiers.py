@@ -70,6 +70,10 @@ class TierSpec:
     random_penalty: float = 1.0
     read_ops_cap: float = math.inf
     write_ops_cap: float = math.inf
+    media_class: str = "dram"
+    """Durability media class (``"dram"``/``"pmem"``/``"ssd"``): selects
+    the at-rest bit-rot rate of :class:`repro.faults.BitRotSpec` for
+    snapshot files resting on this tier."""
 
     def __post_init__(self) -> None:
         positive = {
@@ -125,6 +129,7 @@ PMEM_SPEC = TierSpec(
     random_penalty=config.PMEM_RANDOM_PENALTY,
     read_ops_cap=config.PMEM_READ_OPS_CAP,
     write_ops_cap=config.PMEM_WRITE_OPS_CAP,
+    media_class="pmem",
 )
 
 
@@ -174,6 +179,28 @@ class MemorySystem:
                     store_latency_s=self.slow.store_latency_s * mult,
                 )
         return self.slow
+
+    def age_at_rest(
+        self, snapshot, residency_s: float, tier: Tier | int = Tier.SLOW
+    ) -> np.ndarray:
+        """Age a snapshot file resting on one memory tier.
+
+        The durability plane's entry point for tier-resident copies (a
+        TOSS tiered snapshot's files are DAX-mapped persistent memory):
+        bit-rot drawn by the fault hook for the tier's ``media_class`` is
+        flipped into the snapshot's page versions in place.  Returns the
+        rotted page indices — empty without a fault hook or under a zero
+        plan, so fault-free runs stay bit-identical.
+        """
+        if residency_s < 0:
+            raise ConfigError("residency_s must be non-negative")
+        hook = self.fault_hook
+        if hook is None or hook.is_zero:
+            return np.empty(0, dtype=np.int64)
+        media = self.fast.media_class if Tier(tier) == Tier.FAST else (
+            self.slow.media_class
+        )
+        return hook.rot_snapshot(snapshot, residency_s, media)
 
     @property
     def cost_ratio(self) -> float:

@@ -21,6 +21,7 @@ from .layout import MemoryLayout
 
 __all__ = [
     "checksum_pages",
+    "format_page_indices",
     "SingleTierSnapshot",
     "ReapSnapshot",
     "TieredSnapshot",
@@ -28,6 +29,21 @@ __all__ = [
 
 _CHECKSUM_MULT = np.uint64(0x9E3779B97F4A7C15)
 _CHECKSUM_SHIFT = np.uint64(7)
+
+_MAX_LISTED_PAGES = 10
+
+
+def format_page_indices(pages: np.ndarray, limit: int = _MAX_LISTED_PAGES) -> str:
+    """A bounded rendering of a page-index array for error messages.
+
+    Lists at most ``limit`` indices and summarises the rest, so an error
+    over a million-page corruption stays a one-line message instead of a
+    megabyte repr; the caller keeps the full array on the exception.
+    """
+    shown = ", ".join(str(int(p)) for p in pages[:limit])
+    if pages.size > limit:
+        return f"{shown}, ... ({pages.size - limit} more)"
+    return shown
 
 
 def checksum_pages(page_versions: np.ndarray) -> np.ndarray:
@@ -93,7 +109,8 @@ class SingleTierSnapshot:
         if corrupt.size:
             raise SnapshotCorruptionError(
                 f"snapshot {self.label!r}: {corrupt.size} of {self.n_pages} "
-                "pages fail checksum verification",
+                "pages fail checksum verification "
+                f"(pages {format_page_indices(corrupt)})",
                 corrupt_pages=corrupt,
             )
 

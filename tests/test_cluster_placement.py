@@ -87,6 +87,25 @@ class TestReplacements:
         assert placement.holders_at("a", 9.0) == [0, 2]
         assert len(placement.replacements_for("a")) == 1
 
+    def test_idempotency_keys_on_function_and_host(self):
+        # Two distinct records for the same (function, host) — a crash
+        # repair and a later durability re-replication, say — must not
+        # double-register the holder: the first record wins.
+        placement = self.placement()
+        placement.add_replacement(
+            Replacement(effective_s=5.0, function="a", host=2, source=0)
+        )
+        placement.add_replacement(
+            Replacement(effective_s=7.0, function="a", host=2, source=None)
+        )
+        assert len(placement.replacements_for("a")) == 1
+        assert placement.replacements_for("a")[0].effective_s == 5.0
+        # A different host is a different repair, not a duplicate.
+        placement.add_replacement(
+            Replacement(effective_s=6.0, function="a", host=1)
+        )
+        assert len(placement.replacements_for("a")) == 2
+
     def test_replacement_for_unknown_function_rejected(self):
         placement = self.placement()
         with pytest.raises(ClusterError, match="not placed"):
@@ -100,6 +119,49 @@ class TestReplacements:
             placement.add_replacement(
                 Replacement(effective_s=1.0, function="a", host=7)
             )
+
+    def test_repair_not_routable_before_replication_delay(self):
+        # Regression: a crash repair must not appear in holders_at
+        # until the replication copy has had re_replication_delay_s to
+        # land — routing to it earlier would dispatch to a host that
+        # does not hold the snapshot yet.
+        from repro.cluster import ClusterConfig, ClusterPlatform, steady_requests
+        from repro.core.toss import TossConfig
+        from repro.faults.plan import FaultPlan, HostFaultSpec
+
+        crash_s, delay_s = 2.0, 1.0
+        cluster = ClusterPlatform(
+            ClusterConfig(
+                n_hosts=3,
+                replication_factor=1,
+                cores_per_host=4,
+                re_replication_delay_s=delay_s,
+            ),
+            toss_cfg=TossConfig(
+                convergence_window=3, min_profiling_invocations=3
+            ),
+            plan=FaultPlan(
+                hosts=(
+                    HostFaultSpec(host=0, crash_windows=((crash_s, 6.0),)),
+                )
+            ),
+        )
+        cluster.deploy_fleet(list(FLEET_SUITE))
+        cluster.serve(steady_requests(n_requests=120, duration_s=8.0))
+        repaired = [
+            (name, rep)
+            for name in cluster.placement.functions
+            for rep in cluster.placement.replacements_for(name)
+        ]
+        assert repaired, "the crash must have scheduled repairs"
+        for name, rep in repaired:
+            assert rep.effective_s >= crash_s + delay_s
+            before = cluster.placement.holders_at(
+                name, rep.effective_s - 1e-9
+            )
+            after = cluster.placement.holders_at(name, rep.effective_s)
+            assert rep.host not in before
+            assert rep.host in after
 
     def test_lightest_host_excluding(self):
         placement = self.placement()  # host 0 carries 100 MB

@@ -1,0 +1,70 @@
+"""The injector-leak guard: leaking tests must fail, clean tests must not."""
+
+from __future__ import annotations
+
+from repro import faults
+from repro.faults import FaultPlan
+
+GUARD_CONFTEST = '''
+import pytest
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_injector():
+    assert faults.get_default() is None
+    yield
+    leaked = faults.get_default() is not None
+    faults.uninstall()
+    assert not leaked, "test leaked an installed fault injector"
+'''
+
+
+def test_injected_context_manager_restores_previous():
+    assert faults.get_default() is None
+    with faults.injected(FaultPlan()) as injector:
+        assert faults.get_default() is injector
+        with faults.injected(FaultPlan(seed=5)) as inner:
+            assert faults.get_default() is inner
+        assert faults.get_default() is injector
+    assert faults.get_default() is None
+
+
+def test_install_without_uninstall_fails_the_leaking_test(pytester):
+    # The must-fail demonstration: run a miniature session whose one
+    # test installs an injector and never uninstalls.  The guard must
+    # flag exactly that test (teardown error) and leave the process
+    # clean for us.
+    pytester.makeconftest(GUARD_CONFTEST)
+    pytester.makepyfile(
+        """
+        from repro import faults
+        from repro.faults import FaultPlan
+
+
+        def test_leaks_an_injector():
+            faults.install(FaultPlan())
+        """
+    )
+    result = pytester.runpytest_inprocess("-p", "no:cacheprovider")
+    # The body passes; the guard's teardown assertion reports the leak.
+    result.assert_outcomes(passed=1, errors=1)
+    result.stdout.fnmatch_lines(["*leaked an installed fault injector*"])
+    assert faults.get_default() is None
+
+
+def test_clean_test_passes_under_the_guard(pytester):
+    pytester.makeconftest(GUARD_CONFTEST)
+    pytester.makepyfile(
+        """
+        from repro import faults
+        from repro.faults import FaultPlan
+
+
+        def test_uses_context_manager():
+            with faults.injected(FaultPlan()):
+                pass
+        """
+    )
+    result = pytester.runpytest_inprocess("-p", "no:cacheprovider")
+    result.assert_outcomes(passed=1)

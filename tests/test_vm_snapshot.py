@@ -6,10 +6,15 @@ import numpy as np
 import pytest
 
 from repro import config
-from repro.errors import SnapshotError
+from repro.errors import SnapshotCorruptionError, SnapshotError
 from repro.memsim.tiers import Tier
 from repro.vm.layout import MemoryLayout
-from repro.vm.snapshot import ReapSnapshot, SingleTierSnapshot, TieredSnapshot
+from repro.vm.snapshot import (
+    ReapSnapshot,
+    SingleTierSnapshot,
+    TieredSnapshot,
+    format_page_indices,
+)
 
 
 def snap(n_pages=1024, label="s") -> SingleTierSnapshot:
@@ -31,6 +36,40 @@ class TestSingleTierSnapshot:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(SnapshotError):
             SingleTierSnapshot(n_pages=10, page_versions=np.zeros(5, dtype=np.uint64))
+
+
+class TestFormatPageIndices:
+    def test_short_arrays_listed_fully(self):
+        pages = np.array([3, 7, 11], dtype=np.int64)
+        assert format_page_indices(pages) == "3, 7, 11"
+
+    def test_long_arrays_capped_with_count(self):
+        pages = np.arange(10_000, dtype=np.int64)
+        text = format_page_indices(pages)
+        assert text.startswith("0, 1, 2, 3, 4, 5, 6, 7, 8, 9")
+        assert text.endswith("... (9990 more)")
+
+
+class TestVerifyMessageBounded:
+    def test_huge_corruption_yields_short_message_full_array(self):
+        # Regression: a mass corruption used to put the full index
+        # array repr in the message.  The message must stay one short
+        # line while the exception keeps the complete array for
+        # programmatic consumers.
+        n_pages = 200_000
+        s = snap(n_pages)
+        s.page_versions[::2] += np.uint64(1)  # corrupt half the pages
+        with pytest.raises(SnapshotCorruptionError) as excinfo:
+            s.verify()
+        message = str(excinfo.value)
+        assert len(message) < 300
+        assert "(99990 more)" in message
+        assert f"100000 of {n_pages} pages" in message
+        assert excinfo.value.corrupt_pages.size == 100_000
+        assert np.array_equal(
+            excinfo.value.corrupt_pages,
+            np.arange(0, n_pages, 2, dtype=np.int64),
+        )
 
 
 class TestReapSnapshot:
