@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 from .. import config
 from ..functions.base import FunctionModel
+from ..memsim.accounting import PerfCounters
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
+from ..sim.batchexec import cohort_eligible, execute_cohort
 from ..sim.timing import InvocationTiming
 from ..vm.microvm import ExecutionResult
+from ..vm.restore import RestoreResult
 from ..vm.vmm import VMM
 
 __all__ = ["SystemOutcome", "ServerlessSystem"]
@@ -63,10 +67,95 @@ class ServerlessSystem(abc.ABC):
         self.memory = memory
         self.root_seed = root_seed
         self.vmm = VMM(memory, root_seed=root_seed)
+        # Memo of batch-path execution values keyed by (input, seed).
+        # Cold invocations are deterministic in exactly that key (plus
+        # the system's frozen snapshot state), so replayed cohorts — the
+        # Figure 9 sweep re-runs identical waves through fresh Schedulers
+        # — rebuild their outcomes from stored values instead of
+        # re-executing.  Only the batch fast path reads or writes it, so
+        # entries exist only for fault-free, unobserved invocations.
+        self._cohort_memo: dict[tuple[int, int], tuple] = {}
+        self._cohort_setup_s: float | None = None
 
     @abc.abstractmethod
     def invoke(self, input_index: int, seed: int = 0) -> SystemOutcome:
         """Serve one cold invocation."""
+
+    def _invoke_restore(self) -> RestoreResult | None:
+        """The restore :meth:`invoke` performs, or ``None``.
+
+        Systems whose invoke is exactly ``restore fresh, execute trace``
+        return that restore here to unlock :meth:`invoke_batch`'s
+        vectorized fast path; the default ``None`` keeps the scalar
+        per-invocation loop.
+        """
+        return None
+
+    def invoke_batch(
+        self, input_index: int, seeds: Sequence[int]
+    ) -> list[SystemOutcome]:
+        """Serve a synchronized cohort of cold invocations.
+
+        Bit-identical to ``[self.invoke(input_index, s) for s in seeds]``
+        — the contract every caller relies on.  When the system exposes
+        its restore (:meth:`_invoke_restore`) and the process state is
+        pure (no fault injector, no observation runtime, no slow-tier
+        backpressure hook, no host page cache), the cohort restores once
+        and executes through the vectorized batch engine
+        (:func:`repro.sim.batchexec.execute_cohort`); otherwise it falls
+        back to the scalar loop.
+
+        On the fast path, execution values are memoized per
+        ``(input_index, seed)``: cold invocations are fully deterministic
+        in that key once the system's snapshot state is frozen (true for
+        every concrete system after ``__init__``), so replayed cohorts
+        skip both the restore and the execution.  Outcomes are still
+        rebuilt fresh — :class:`~repro.memsim.accounting.PerfCounters` is
+        mutable, so only its field values are cached; the frozen demand
+        vectors and epoch records are shared, exactly as the scalar
+        engine shares trace arrays between results.
+        """
+        if not cohort_eligible(self.memory):
+            return [self.invoke(input_index, s) for s in seeds]
+        memo = self._cohort_memo
+        missing = [s for s in seeds if (input_index, s) not in memo]
+        if missing or self._cohort_setup_s is None:
+            restore = self._invoke_restore()
+            if restore is None or restore.vm.page_cache is not None:
+                return [self.invoke(input_index, s) for s in seeds]
+            self._cohort_setup_s = restore.setup_time_s
+            traces = [self._trace(input_index, s) for s in missing]
+            executions = execute_cohort(restore.vm, traces)
+            for seed, execution in zip(missing, executions):
+                c = execution.counters
+                memo[(input_index, seed)] = (
+                    (
+                        c.cpu_time_s,
+                        c.fast_stall_s,
+                        c.slow_stall_s,
+                        c.fault_stall_s,
+                        c.fast_accesses,
+                        c.slow_accesses,
+                        c.minor_faults,
+                        c.major_faults,
+                    ),
+                    execution.demand,
+                    execution.epoch_records,
+                    execution.label,
+                )
+        setup_s = self._cohort_setup_s
+        assert setup_s is not None  # set alongside every memo entry
+        outcomes: list[SystemOutcome] = []
+        for seed in seeds:
+            values, demand, records, label = memo[(input_index, seed)]
+            execution = ExecutionResult(
+                counters=PerfCounters(*values),
+                demand=demand,
+                epoch_records=records,
+                label=label,
+            )
+            outcomes.append(self._outcome(input_index, seed, setup_s, execution))
+        return outcomes
 
     def _trace(self, input_index: int, seed: int):
         return self.function.trace(input_index, seed, root_seed=self.root_seed)

@@ -24,6 +24,9 @@ class DramBaseline(ServerlessSystem):
 
     def invoke(self, input_index: int, seed: int = 0) -> SystemOutcome:
         """Warm execution of one invocation."""
-        restore = self.vmm.restore(self._snapshot, "warm")
+        restore = self._invoke_restore()
         execution = restore.vm.execute(self._trace(input_index, seed))
         return self._outcome(input_index, seed, restore.setup_time_s, execution)
+
+    def _invoke_restore(self):
+        return self.vmm.restore(self._snapshot, "warm")

@@ -53,6 +53,9 @@ class ReapSystem(ServerlessSystem):
 
     def invoke(self, input_index: int, seed: int = 0) -> SystemOutcome:
         """One cold REAP invocation: WS prefetch + uffd for the rest."""
-        restore = self.vmm.restore(self._snapshot, "reap")
+        restore = self._invoke_restore()
         execution = restore.vm.execute(self._trace(input_index, seed))
         return self._outcome(input_index, seed, restore.setup_time_s, execution)
+
+    def _invoke_restore(self):
+        return self.vmm.restore(self._snapshot, "reap")

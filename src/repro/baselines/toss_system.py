@@ -83,6 +83,9 @@ class TossSystem(ServerlessSystem):
         fixed snapshot; use the controller directly to exercise Section
         V-E's adaptation.
         """
-        restore = self.vmm.restore(self.tiered_snapshot, "toss")
+        restore = self._invoke_restore()
         execution = restore.vm.execute(self._trace(input_index, seed))
         return self._outcome(input_index, seed, restore.setup_time_s, execution)
+
+    def _invoke_restore(self):
+        return self.vmm.restore(self.tiered_snapshot, "toss")

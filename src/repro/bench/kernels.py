@@ -304,6 +304,10 @@ KERNELS: tuple[BenchKernel, ...] = (
         setup=_fleet_setup,
         run=_fleet_run,
         ops=14,
+        # The slowest kernel in the suite: smoke-tagged (and gated in CI
+        # with --check) since the batch fast path made it affordable —
+        # it drifted ~18s -> 25.5s across two PRs while ungated.
+        tags=("smoke",),
     ),
     BenchKernel(
         name="damon_profile_suite",

@@ -44,6 +44,8 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+import numpy as np
+
 from .. import rng as rng_mod
 from ..core.telemetry import TelemetryLog
 from ..core.toss import Phase, TossConfig
@@ -598,6 +600,7 @@ class ClusterPlatform:
                 | set(self.durability.scrub_boundaries(horizon))
             )
         outcomes: list[ClusterRequestOutcome] = []
+        boundary_arr = np.asarray(boundaries, dtype=np.float64)
         max_waves = (
             (len(boundaries) + 1)
             * (self.config.max_redispatch_attempts + 1)
@@ -612,19 +615,30 @@ class ClusterPlatform:
                 )
             pending.sort(key=_Pending.sort_key)
             wave_start = pending[0].dispatch_s
-            wave_end = math.inf
-            for boundary in boundaries:
-                if boundary > wave_start:
-                    wave_end = boundary
-                    break
+            # Both the boundary list and the pending queue are sorted
+            # (dispatch time is the sort key's leading field), so the
+            # next boundary and the wave's membership split are binary
+            # searches over arrays, not linear scans per wave.
+            b_idx = int(np.searchsorted(boundary_arr, wave_start, side="right"))
+            wave_end = (
+                float(boundary_arr[b_idx])
+                if b_idx < boundary_arr.size
+                else math.inf
+            )
             self._schedule_repairs(wave_start)
             if self.durability is not None:
                 self.durability.advance_to(wave_start)
             self._apply_repairs(wave_start)
             self._sync_replicas(wave_start)
 
-            current = [r for r in pending if r.dispatch_s < wave_end]
-            pending = [r for r in pending if r.dispatch_s >= wave_end]
+            dispatches = np.fromiter(
+                (r.dispatch_s for r in pending),
+                dtype=np.float64,
+                count=len(pending),
+            )
+            split = int(np.searchsorted(dispatches, wave_end, side="left"))
+            current = pending[:split]
+            pending = pending[split:]
             routed: dict[int, list[_Pending]] = {}
             for req in current:
                 self._observe_fleet(req.dispatch_s)

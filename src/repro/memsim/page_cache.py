@@ -76,34 +76,64 @@ class HostPageCache:
         after each miss — a sequential sweep of N pages costs roughly
         ``N / (readahead_pages + 1)`` misses, as on a real kernel.
         """
-        pages = np.unique(np.asarray(pages, dtype=np.int64))
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size > 1 and not bool(np.all(pages[1:] > pages[:-1])):
+            pages = np.unique(pages)
         self._check(pages)
         candidates = pages[~self._resident[pages]]
         misses = 0
         if self.readahead_pages and candidates.size:
             stride = self.readahead_pages + 1
             # Process contiguous runs of candidate pages; coverage carries
-            # across small gaps via ``covered_until``.
+            # across small gaps via ``covered_until``.  The miss count is a
+            # pure scalar recurrence over runs; the readahead tail windows
+            # it discovers are pairwise disjoint and are never read back
+            # within this call, so their cache updates are collected here
+            # and applied in one vectorized pass below — identical end
+            # state to applying them run by run.
             boundaries = np.flatnonzero(np.diff(candidates) > 1) + 1
-            starts = np.concatenate([[0], boundaries])
-            ends = np.concatenate([boundaries, [candidates.size]])
+            run_starts = candidates[
+                np.concatenate([[0], boundaries])
+            ].tolist()
+            run_ends = (
+                candidates[
+                    np.concatenate([boundaries - 1, [candidates.size - 1]])
+                ]
+                + 1
+            ).tolist()
             covered_until = -1
-            for si, ei in zip(starts.tolist(), ends.tolist()):
-                run_start = int(candidates[si])
-                run_end = int(candidates[ei - 1]) + 1
-                first_miss = max(run_start, covered_until)
+            n_pages = self.n_pages
+            win_lo: list[int] = []
+            win_hi: list[int] = []
+            for run_start, run_end in zip(run_starts, run_ends):
+                first_miss = (
+                    run_start if run_start > covered_until else covered_until
+                )
                 if first_miss >= run_end:
                     continue  # the whole run was prefetched earlier
                 k = -(-(run_end - first_miss) // stride)  # ceil division
                 misses += k
                 covered_until = first_miss + k * stride
                 # Pages past the run's end covered by the last readahead.
-                tail_end = min(self.n_pages, covered_until)
+                tail_end = (
+                    covered_until if covered_until < n_pages else n_pages
+                )
                 if tail_end > run_end:
-                    window = np.arange(run_end, tail_end)
-                    newly = window[~self._resident[window]]
-                    self._resident[newly] = True
-                    self._prefetched[newly] = True
+                    win_lo.append(run_end)
+                    win_hi.append(tail_end)
+            if win_lo:
+                lo = np.asarray(win_lo, dtype=np.int64)
+                lengths = np.asarray(win_hi, dtype=np.int64) - lo
+                # Concatenated aranges over all windows without a Python
+                # loop: repeat each window start, add per-window offsets.
+                cum = np.cumsum(lengths)
+                offsets = np.arange(cum[-1]) - np.repeat(
+                    cum - lengths, lengths
+                )
+                window = np.repeat(lo, lengths) + offsets
+                newly = window[~self._resident[window]]
+                self._resident[newly] = True
+                self._prefetched[newly] = True
         else:
             misses = int(candidates.size)
         self._resident[candidates] = True

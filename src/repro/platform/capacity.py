@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import SchedulerError
 
 __all__ = ["ResidentVM", "HostCapacity", "packing_density"]
@@ -36,7 +38,15 @@ class ResidentVM:
 
 
 class HostCapacity:
-    """A host's two-tier memory budget with admission control."""
+    """A host's two-tier memory budget with admission control.
+
+    Used-memory totals are kept as running left-fold sums so admission
+    checks are O(1) rather than re-summing every resident VM.  The cache
+    is bit-identical to ``sum(vm.fast_mb for vm in resident)``: IEEE-754
+    addition folds left, so ``sum(xs + [x]) == sum(xs) + x`` exactly,
+    which is the update :meth:`admit` applies; :meth:`release` re-folds
+    the remaining list from scratch, matching a fresh ``sum``.
+    """
 
     def __init__(self, fast_mb: float, slow_mb: float) -> None:
         if fast_mb <= 0 or slow_mb < 0:
@@ -46,16 +56,18 @@ class HostCapacity:
         self._resident: list[ResidentVM] = []
         self._names: set[str] = set()
         self._fill_seq = 0
+        self._used_fast = 0.0
+        self._used_slow = 0.0
 
     @property
     def used_fast_mb(self) -> float:
         """DRAM pinned by resident VMs."""
-        return sum(vm.fast_mb for vm in self._resident)
+        return self._used_fast
 
     @property
     def used_slow_mb(self) -> float:
         """Slow-tier memory pinned by resident VMs."""
-        return sum(vm.slow_mb for vm in self._resident)
+        return self._used_slow
 
     @property
     def resident_count(self) -> int:
@@ -109,6 +121,8 @@ class HostCapacity:
             return False
         self._resident.append(vm)
         self._names.add(vm.name)
+        self._used_fast = self._used_fast + vm.fast_mb
+        self._used_slow = self._used_slow + vm.slow_mb
         return True
 
     def release(self, name: str) -> None:
@@ -129,6 +143,11 @@ class HostCapacity:
                 del self._resident[i]
                 break
         self._names.discard(name)
+        # Re-fold from scratch: identical to what a fresh sum() over the
+        # remaining residents would produce (removal breaks the
+        # incremental left-fold identity, re-summing restores it).
+        self._used_fast = sum(vm.fast_mb for vm in self._resident)
+        self._used_slow = sum(vm.slow_mb for vm in self._resident)
 
     def fill_with(self, vm: ResidentVM, limit: int = 100_000) -> int:
         """Admit copies of ``vm`` until the host is full; returns count.
@@ -145,6 +164,30 @@ class HostCapacity:
             self._fill_seq += 1
         return admitted
 
+    def fill_count(self, vm: ResidentVM, limit: int = 100_000) -> int:
+        """How many copies of ``vm`` :meth:`fill_with` would admit.
+
+        Pure counting — no resident VMs are materialised and the host is
+        left untouched.  Bit-identical to the admit loop: the loop's
+        running totals are left-fold sums of repeated additions, which is
+        exactly what ``np.cumsum`` (sequential accumulation) computes, so
+        the per-step ``fits`` comparisons see identical float64 values.
+        """
+        if limit <= 0:
+            return 0
+        fast_step = np.full(limit, vm.fast_mb)
+        slow_step = np.full(limit, vm.slow_mb)
+        fast_step[0] = self._used_fast + vm.fast_mb
+        slow_step[0] = self._used_slow + vm.slow_mb
+        cum_fast = np.cumsum(fast_step)
+        cum_slow = np.cumsum(slow_step)
+        ok = (cum_fast <= self.fast_mb + 1e-9) & (
+            cum_slow <= self.slow_mb + 1e-9
+        )
+        # fits() is prefix-monotone for identical VMs: count the prefix.
+        bad = np.flatnonzero(~ok)
+        return int(bad[0]) if bad.size else limit
+
 
 def packing_density(
     guest_mb: float,
@@ -160,11 +203,11 @@ def packing_density(
     """
     if not 0.0 <= slow_fraction <= 1.0:
         raise SchedulerError("slow_fraction must lie in [0, 1]")
-    dram_only = HostCapacity(host_fast_mb, host_slow_mb).fill_with(
+    dram_only = HostCapacity(host_fast_mb, host_slow_mb).fill_count(
         ResidentVM("dram", guest_mb, 0.0)
     )
     fast = max(guest_mb * (1.0 - slow_fraction), 1e-6)
-    tiered = HostCapacity(host_fast_mb, host_slow_mb).fill_with(
+    tiered = HostCapacity(host_fast_mb, host_slow_mb).fill_count(
         ResidentVM("tiered", fast, guest_mb * slow_fraction)
     )
     return dram_only, tiered

@@ -280,6 +280,24 @@ class ServerlessPlatform:
         fn_inflight: dict[str, int] = {}
         outstanding_leases: dict[object, tuple[float, str]] = {}
 
+        # Deferred emissions share one callback and one payload heap
+        # instead of allocating a closure (plus captured cells) per
+        # emission.  The loop fires emit-category events in
+        # ``(time, PRIORITY_EMIT, loop-seq)`` order; the payload heap is
+        # keyed ``(time, emit-seq)`` with both sequence counters assigned
+        # together at defer time, so the pop at each firing is exactly
+        # that firing's payload — asserted empty after the final drain.
+        emit_heap: list[tuple[float, int, tuple]] = []
+        emit_seq = 0
+
+        def _fire_emit(_now: float) -> None:
+            _, _, (kind, function, invocation, at_s, detail) = heapq.heappop(
+                emit_heap
+            )
+            self._emit_platform_event(
+                kind, function, invocation, at_s=at_s, **detail
+            )
+
         def defer_emit(
             when_s: float,
             kind: EventKind,
@@ -293,19 +311,17 @@ class ServerlessPlatform:
             Detail values are captured eagerly — the emission observes the
             state at decision time, only its position on the timeline moves.
             """
+            nonlocal emit_seq
             if self.telemetry is None and obs is None:
                 return
-
-            def _fire(_now: float) -> None:
-                self._emit_platform_event(
-                    kind, function, invocation, at_s=at_s, **detail
-                )
-
+            when = max(float(when_s), loop.now)
+            heapq.heappush(
+                emit_heap,
+                (when, emit_seq, (kind, function, invocation, at_s, detail)),
+            )
+            emit_seq += 1
             loop.schedule_at(
-                max(float(when_s), loop.now),
-                _fire,
-                priority=PRIORITY_EMIT,
-                category="emit",
+                when, _fire_emit, priority=PRIORITY_EMIT, category="emit"
             )
 
         def queue_slot(start: float) -> None:
@@ -676,18 +692,21 @@ class ServerlessPlatform:
             arrival, name, input_index, req_class = pending_arrivals.popleft()
             handle_arrival(arrival, name, input_index, req_class)
 
-        for arrival, _, _, _ in normalized:
-            loop.schedule_at(
-                arrival,
-                _next_arrival,
-                priority=PRIORITY_ARRIVAL,
-                category="arrival",
-            )
+        loop.schedule_batch(
+            [r[0] for r in normalized],
+            _next_arrival,
+            priority=PRIORITY_ARRIVAL,
+            category="arrival",
+        )
         # Stop once the last arrival has been decided: leases that expire
         # past the batch must survive into the next serve() call.
         loop.run_while_category("arrival")
         # Flush telemetry stamped past the final arrival, in time order.
         loop.drain_category("emit")
+        # Micro-assert: the shared emit callback consumed its payloads in
+        # exactly the loop's firing order — batched scheduling emitted the
+        # same events, in the same order, as per-closure scheduling would.
+        assert not emit_heap, "deferred telemetry left unfired"
         self._capacity_leases = sorted(outstanding_leases.values())
         heapq.heapify(self._capacity_leases)
         self.log.extend(batch)

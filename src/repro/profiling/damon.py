@@ -276,7 +276,11 @@ class DamonProfiler:
                     new_bounds.append(cut)
                     budget -= 1
             new_bounds.append(end)
-        self._bounds = np.unique(np.asarray(new_bounds, dtype=np.int64))
+        # ``new_bounds`` is strictly increasing by construction (merged
+        # bounds keep their order and every cut is strictly interior), so
+        # the ``np.unique`` this used to pass through was an identity —
+        # skip its sort/hash entirely.
+        self._bounds = np.asarray(new_bounds, dtype=np.int64)
 
     def reset(self) -> None:
         """Forget adapted regions (fresh attach)."""

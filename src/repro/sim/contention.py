@@ -31,8 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError, SchedulerError
 from ..memsim.bandwidth import RESOURCES, ContentionModel, TierDemand
+from .batch import SampleBuffer
 from .loop import EventLoop, _Entry
 from .resources import TokenBucket
 
@@ -175,7 +178,23 @@ class EventScheduler:
 
     def __init__(self, contention: ContentionModel) -> None:
         self.contention = contention
-        self.last_samples: tuple[UtilizationSample, ...] = ()
+        self._sample_buffer: SampleBuffer | None = None
+        self._samples_tuple: tuple[UtilizationSample, ...] = ()
+
+    @property
+    def last_samples(self) -> tuple[UtilizationSample, ...]:
+        """Telemetry samples of the most recent run.
+
+        The batch replay records samples into a structured-array
+        :class:`~repro.sim.batch.SampleBuffer`; the public
+        :class:`UtilizationSample` tuple is materialized only when a
+        caller actually reads this property (then cached).
+        """
+        buf = self._sample_buffer
+        if buf is not None:
+            self._samples_tuple = buf.to_samples()
+            self._sample_buffer = None
+        return self._samples_tuple
 
     # -- closed batch (equilibrium) ---------------------------------------------
 
@@ -195,7 +214,8 @@ class EventScheduler:
         if not demands:
             return [], {r: 1.0 for r in RESOURCES}
         times, inflation = self.contention._solve(demands)
-        self.last_samples = self._replay_batch(demands, times, inflation)
+        self._sample_buffer = self._replay_batch(demands, times, inflation)
+        self._samples_tuple = ()
         return times, dict(inflation)
 
     def _replay_batch(
@@ -203,44 +223,41 @@ class EventScheduler:
         demands: list[TierDemand],
         times: list[float],
         inflation: dict[str, float],
-    ) -> tuple[UtilizationSample, ...]:
-        loop = EventLoop()
-        capacities = self.contention.capacities
-        active_rate = {r: 0.0 for r in RESOURCES}
-        samples: list[UtilizationSample] = []
+    ) -> SampleBuffer:
+        """Replay the batch's rho trajectory, fully vectorized.
 
-        def sample(_now: float) -> None:
-            for r in RESOURCES:
-                samples.append(
-                    UtilizationSample(
-                        time_s=loop.now,
-                        resource=r,
-                        offered_rho=active_rate[r] / capacities[r],
-                        inflation=inflation[r],
-                    )
-                )
-
-        def finish(delta: dict[str, float], t: float) -> None:
-            def _fire(_now: float) -> None:
-                for r in RESOURCES:
-                    active_rate[r] -= delta[r]
-                sample(_now)
-
-            loop.schedule_at(t, _fire)
-
-        # One rate-delta dict per demand, applied at start and reversed at
-        # finish — the same division both times, so the replayed rho
-        # trajectory is unchanged while the per-demand dict rebuilds go.
-        for demand, t in zip(demands, times):
-            work = demand._stalls_and_work()
-            denom = max(t, 1e-12)
-            delta = {r: work[r][1] / denom for r in RESOURCES}
-            for r in RESOURCES:
-                active_rate[r] += delta[r]
-            finish(delta, t)
-        sample(loop.now)
-        loop.run()
-        return tuple(samples)
+        Bit-identical to the event-loop replay it replaces: the batch
+        starts with every demand's rate delta folded in left-to-right
+        (``np.add.accumulate`` — the scalar ``+=`` fold), completions
+        fire in the heap's ``(time, seq)`` order (a stable argsort of the
+        contended times, since all finish events shared one priority and
+        seq was assignment order), and each completion subtracts its
+        delta sequentially (``np.subtract.accumulate``).  One sample row
+        per event — the launch at t=0 plus one per completion — lands in
+        a pre-sized :class:`~repro.sim.batch.SampleBuffer` instead of
+        ``5 (n+1)`` dataclass allocations.
+        """
+        n = len(demands)
+        caps = self.contention.capacity_vector()
+        work = self.contention.demand_work_matrix(demands)
+        t = np.asarray(times, dtype=np.float64)
+        delta = work / np.maximum(t, 1e-12)[:, None]
+        order = np.argsort(t, kind="stable")
+        steps = np.empty((n + 1, len(RESOURCES)), dtype=np.float64)
+        steps[0] = np.add.accumulate(delta, axis=0)[-1]
+        steps[1:] = delta[order]
+        rho = np.subtract.accumulate(steps, axis=0) / caps
+        event_times = np.empty(n + 1, dtype=np.float64)
+        event_times[0] = 0.0
+        event_times[1:] = t[order]
+        infl_row = np.array(
+            [inflation[r] for r in RESOURCES], dtype=np.float64
+        )
+        buffer = SampleBuffer(n + 1)
+        buffer.fill_events(
+            event_times, rho, np.broadcast_to(infl_row, rho.shape)
+        )
+        return buffer
 
     # -- open timeline (emergent contention) ------------------------------------
 
@@ -337,7 +354,8 @@ class EventScheduler:
         loop.run()
         if active:  # pragma: no cover - defensive
             raise SchedulerError("timeline ended with unfinished jobs")
-        self.last_samples = tuple(samples)
+        self._sample_buffer = None
+        self._samples_tuple = tuple(samples)
         return TimelineResult(
             jobs=tuple(ordered),
             samples=tuple(samples),
@@ -347,5 +365,13 @@ class EventScheduler:
     # -- reporting ---------------------------------------------------------------
 
     def utilization_summary(self) -> dict[str, dict[str, float]]:
-        """Per-resource load summary of the most recent run."""
-        return _summarize(self.last_samples)
+        """Per-resource load summary of the most recent run.
+
+        Summarizes straight off the structured sample buffer when one is
+        live (no :class:`UtilizationSample` materialization), falling
+        back to the scalar summary over the tuple — both produce
+        bit-identical numbers.
+        """
+        if self._sample_buffer is not None:
+            return self._sample_buffer.summarize()
+        return _summarize(self._samples_tuple)

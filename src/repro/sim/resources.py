@@ -22,6 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+import numpy.typing as npt
+
 from ..errors import ConfigError
 
 if TYPE_CHECKING:
@@ -218,6 +221,37 @@ class TokenBucket:
         if self.tokens >= 0:
             return 0.0
         return -self.tokens / self.rate_per_s
+
+    def consume_batch(
+        self, amounts: "npt.NDArray[np.float64] | list[float]"
+    ) -> npt.NDArray[np.float64]:
+        """Debit a same-instant cohort of amounts; one wait per draw.
+
+        Bit-identical to calling :meth:`consume` once per amount in order
+        at the same simulated time: after the single shared refill (time
+        has not advanced between the scalar calls, so their re-refills
+        are no-ops), the token level walks down by each amount with the
+        sequential ``np.subtract.accumulate`` left fold — exactly the
+        scalar ``tokens -= amount`` chain — and each draw's wait is
+        computed from its own post-debit level with the same IEEE ops.
+        """
+        arr = np.asarray(amounts, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigError("batch consume amounts must be one-dimensional")
+        if arr.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if float(arr.min()) < 0:
+            raise ConfigError("cannot consume a negative amount")
+        self._refill()
+        levels = np.subtract.accumulate(
+            np.concatenate(([self.tokens], arr))
+        )[1:]
+        waits = np.where(levels >= 0, 0.0, -levels / self.rate_per_s)
+        self.tokens = float(levels[-1])
+        self.consumed_total = float(
+            np.add.accumulate(np.concatenate(([self.consumed_total], arr)))[-1]
+        )
+        return waits
 
     @property
     def backlog_s(self) -> float:

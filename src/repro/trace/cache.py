@@ -11,8 +11,12 @@ every system is safe and their ``cached_property`` views are shared too.
 The cache is bounded by *bytes*, not entries: one pyaes trace is ~180 KB
 while a video-processing trace is tens of MB, so an entry-count bound
 would either thrash on big traces or hoard memory on small ones.  At the
-default 256 MB budget a full C=1000 seed range of the Figure 9 function
-fits, which is what turns the four-system sweep into one synthesis pass.
+default 1.5 GB budget both a full C=1000 seed range of the Figure 9
+function *and* the fleet study's full profiling working set (~0.9 GB
+across the Table I + extended suites) fit, which turns repeated
+preparation passes into one synthesis pass each.  The old 256 MB default
+thrashed at fleet scale: 334 synthesis misses per ``fleet_study`` run
+with an ~8 % hit rate.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["TraceCache", "shared_trace_cache"]
 
-DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+DEFAULT_BUDGET_BYTES = 1536 * 1024 * 1024
 
 
 def _trace_nbytes(trace: "InvocationTrace") -> int:

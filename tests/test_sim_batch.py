@@ -1,0 +1,374 @@
+"""Bit-identity tests for the vectorized batch event kernel.
+
+The batch fast path (:mod:`repro.sim.batch`, :mod:`repro.sim.batchexec`,
+the vectorized contention replay, ``EventLoop.schedule_batch`` and
+``TokenBucket.consume_batch``) promises *bit-identical* results to the
+coroutine/scalar code it shortcuts.  These tests pin that contract:
+
+* hypothesis properties drive randomized cohorts — including exact
+  same-timestamp ties and token-bucket contention — through both engines
+  and require identical drain orders and identical floats;
+* the pre-change scalar replay loop is pinned verbatim as a reference
+  and the vectorized replay must reproduce its samples exactly;
+* ``invoke_batch`` on real systems must reproduce the scalar
+  ``invoke`` loop field for field, including when answered from the
+  per-system cohort memo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memsim.bandwidth import RESOURCES, ContentionModel, TierDemand
+from repro.memsim.storage import OPTANE_SSD_SPEC
+from repro.memsim.tiers import DEFAULT_MEMORY_SYSTEM
+from repro.sim.batch import (
+    SampleBuffer,
+    heap_drain_order,
+    segment_fold_left,
+    segment_sums_int,
+)
+from repro.sim.contention import EventScheduler, UtilizationSample, _summarize
+from repro.sim.loop import EventLoop
+from repro.sim.resources import TokenBucket
+
+# -- strategies ----------------------------------------------------------------
+
+TIMES = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+PRIORITIES = st.integers(min_value=0, max_value=3)
+AMOUNTS = st.lists(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _with_ties(times: list[float]) -> list[float]:
+    """Duplicate half the cohort so exact same-timestamp ties occur."""
+    return times + times[: len(times) // 2]
+
+
+# -- drain order ---------------------------------------------------------------
+
+
+class TestDrainOrder:
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=50.0, allow_nan=False), PRIORITIES), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_lexsort_matches_heap_pops(self, cohort):
+        """heap_drain_order == the coroutine loop's actual pop sequence."""
+        cohort = cohort + cohort[: len(cohort) // 2]  # exact ties
+        loop = EventLoop()
+        fired: list[int] = []
+        entries = []
+        for i, (t, prio) in enumerate(cohort):
+            entries.append(
+                loop.schedule_at(
+                    t, (lambda idx: lambda _now: fired.append(idx))(i),
+                    priority=prio,
+                )
+            )
+        loop.run()
+        order = heap_drain_order(
+            np.array([t for t, _ in cohort], dtype=np.float64),
+            np.array([p for _, p in cohort], dtype=np.int64),
+            np.array([e.seq for e in entries], dtype=np.int64),
+        )
+        assert fired == list(order)
+
+    @given(TIMES)
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_batch_matches_scalar_scheduling(self, times):
+        """Batched and per-call scheduling fire identically, ties FIFO."""
+        times = _with_ties(times)
+        scalar_loop = EventLoop()
+        scalar_fired: list[tuple[int, float]] = []
+        seq = {"i": 0}
+
+        def scalar_cb(now: float) -> None:
+            scalar_fired.append((seq["i"], now))
+            seq["i"] += 1
+
+        for t in times:
+            scalar_loop.schedule_at(t, scalar_cb, priority=2, category="a")
+        scalar_loop.run()
+
+        batch_loop = EventLoop()
+        batch_fired: list[tuple[int, float]] = []
+        bseq = {"i": 0}
+
+        def batch_cb(now: float) -> None:
+            batch_fired.append((bseq["i"], now))
+            bseq["i"] += 1
+
+        entries = batch_loop.schedule_batch(
+            times, batch_cb, priority=2, category="a"
+        )
+        assert len(entries) == len(times)
+        assert batch_loop.live_count("a") == len(times)
+        batch_loop.run()
+        assert batch_fired == scalar_fired
+        assert batch_loop.now == scalar_loop.now
+
+    def test_schedule_batch_rejects_past_and_bad_shapes(self):
+        loop = EventLoop(start_s=5.0)
+        with pytest.raises(ConfigError):
+            loop.schedule_batch([6.0, 4.0], lambda _n: None)
+        with pytest.raises(ConfigError):
+            loop.schedule_batch(np.zeros((2, 2)), lambda _n: None)
+        assert loop.schedule_batch([], lambda _n: None) == []
+
+    def test_heap_drain_order_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            heap_drain_order(
+                np.zeros(3), np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+            )
+
+
+# -- token bucket --------------------------------------------------------------
+
+
+class TestConsumeBatch:
+    @given(AMOUNTS, st.floats(min_value=0.1, max_value=200.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scalar_consume_chain(self, amounts, rate):
+        """consume_batch == consume called per amount, bit for bit —
+        including contended draws that leave the bucket in debt."""
+        loop_a, loop_b = EventLoop(), EventLoop()
+        scalar = TokenBucket("b", rate, loop=loop_a)
+        batch = TokenBucket("b", rate, loop=loop_b)
+        scalar_waits = [scalar.consume(a) for a in amounts]
+        batch_waits = batch.consume_batch(amounts)
+        assert list(batch_waits) == scalar_waits
+        assert batch.tokens == scalar.tokens
+        assert batch.consumed_total == scalar.consumed_total
+
+    def test_rejects_negative_and_bad_shape(self):
+        loop = EventLoop()
+        bucket = TokenBucket("b", 10.0, loop=loop)
+        with pytest.raises(ConfigError):
+            bucket.consume_batch([1.0, -2.0])
+        with pytest.raises(ConfigError):
+            bucket.consume_batch(np.zeros((2, 2)))
+        assert bucket.consume_batch([]).size == 0
+        assert bucket.tokens == 10.0
+
+    @given(AMOUNTS, st.floats(min_value=0.5, max_value=50.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_contended_waits_order_processes_identically(self, amounts, rate):
+        """Processes delayed by bucket waits finish in the same order
+        whether the waits came from the scalar or the batch draw."""
+
+        def run(waits):
+            loop = EventLoop()
+            finished: list[int] = []
+
+            def body(i, wait):
+                def _proc():
+                    from repro.sim.loop import Delay
+
+                    yield Delay(wait)
+                    finished.append(i)
+
+                return _proc()
+
+            for i, w in enumerate(waits):
+                loop.spawn(body(i, float(w)), name=f"p{i}")
+            loop.run()
+            return finished
+
+        loop_a, loop_b = EventLoop(), EventLoop()
+        scalar = TokenBucket("b", rate, loop=loop_a)
+        batch = TokenBucket("b", rate, loop=loop_b)
+        scalar_order = run([scalar.consume(a) for a in amounts])
+        batch_order = run(batch.consume_batch(amounts))
+        assert scalar_order == batch_order
+
+
+# -- segment folds -------------------------------------------------------------
+
+RAGGED = st.lists(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestSegmentFolds:
+    @given(RAGGED)
+    @settings(max_examples=80, deadline=None)
+    def test_fold_left_matches_scalar_accumulation(self, segments):
+        values = np.array(
+            [x for seg in segments for x in seg], dtype=np.float64
+        )
+        ptr = np.zeros(len(segments) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in segments], out=ptr[1:])
+        got = segment_fold_left(values, ptr)
+        for i, seg in enumerate(segments):
+            acc = 0.0
+            for x in seg:
+                acc += x
+            assert got[i] == acc
+
+    @given(RAGGED)
+    @settings(max_examples=80, deadline=None)
+    def test_int_sums_exact(self, segments):
+        ints = [[int(x) for x in seg] for seg in segments]
+        values = np.array([x for seg in ints for x in seg], dtype=np.int64)
+        ptr = np.zeros(len(ints) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in ints], out=ptr[1:])
+        got = segment_sums_int(values, ptr)
+        assert list(got) == [sum(seg) for seg in ints]
+
+
+# -- contention replay ---------------------------------------------------------
+
+
+def _scalar_replay(model, demands, times, inflation):
+    """The pre-vectorization event-loop replay, pinned verbatim."""
+    loop = EventLoop()
+    capacities = model.capacities
+    active_rate = {r: 0.0 for r in RESOURCES}
+    samples: list[UtilizationSample] = []
+
+    def sample(_now):
+        for r in RESOURCES:
+            samples.append(
+                UtilizationSample(
+                    time_s=loop.now,
+                    resource=r,
+                    offered_rho=active_rate[r] / capacities[r],
+                    inflation=inflation[r],
+                )
+            )
+
+    def finish(delta, t):
+        def _fire(_now):
+            for r in RESOURCES:
+                active_rate[r] -= delta[r]
+            sample(_now)
+
+        loop.schedule_at(t, _fire)
+
+    for demand, t in zip(demands, times):
+        work = demand._stalls_and_work()
+        denom = max(t, 1e-12)
+        delta = {r: work[r][1] / denom for r in RESOURCES}
+        for r in RESOURCES:
+            active_rate[r] += delta[r]
+        finish(delta, t)
+    sample(loop.now)
+    loop.run()
+    return tuple(samples)
+
+
+DEMANDS = st.lists(
+    st.builds(
+        TierDemand,
+        cpu_time_s=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+        slow_read_stall_s=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+        slow_read_ops=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        uffd_stall_s=st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+        uffd_ops=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+class TestReplayIdentity:
+    @given(DEMANDS)
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_replay_matches_scalar(self, demands):
+        demands = demands + demands[: len(demands) // 2]  # tie times
+        model = ContentionModel(DEFAULT_MEMORY_SYSTEM, OPTANE_SSD_SPEC)
+        engine = EventScheduler(model)
+        times, inflation = model._solve(demands)
+        reference = _scalar_replay(model, demands, times, inflation)
+        got_times, got_infl = engine.run_synchronized(demands)
+        assert got_times == times
+        assert got_infl == dict(inflation)
+        assert engine.utilization_summary() == _summarize(reference)
+        assert engine.last_samples == reference
+        # After materialization the summary comes from the tuple path.
+        assert engine.utilization_summary() == _summarize(reference)
+
+    def test_sample_buffer_round_trip(self):
+        buf = SampleBuffer(3)
+        buf.append_event(0.0, np.array([0.1] * 5), np.array([1.0] * 5))
+        buf.fill_events(
+            np.array([1.0, 2.0]),
+            np.full((2, 5), 0.25),
+            np.full((2, 5), 1.5),
+        )
+        assert buf.n_events == 3 and len(buf) == 15
+        samples = buf.to_samples()
+        assert [s.resource for s in samples[:5]] == list(RESOURCES)
+        assert buf.summarize() == _summarize(samples)
+
+    def test_empty_buffer_summary(self):
+        assert SampleBuffer(0).summarize() == _summarize(())
+
+
+# -- batch invoke --------------------------------------------------------------
+
+
+def _assert_outcomes_identical(scalar, batch):
+    assert len(scalar) == len(batch)
+    for a, b in zip(scalar, batch):
+        assert (a.system, a.input_index, a.seed) == (
+            b.system,
+            b.input_index,
+            b.seed,
+        )
+        assert a.setup_time_s == b.setup_time_s
+        for f in dataclasses.fields(a.execution.counters):
+            va = getattr(a.execution.counters, f.name)
+            vb = getattr(b.execution.counters, f.name)
+            assert va == vb and type(va) is type(vb), f.name
+        for f in dataclasses.fields(a.execution.demand):
+            va = getattr(a.execution.demand, f.name)
+            vb = getattr(b.execution.demand, f.name)
+            assert va == vb and type(va) is type(vb), f.name
+        assert a.execution.label == b.execution.label
+        assert len(a.execution.epoch_records) == len(b.execution.epoch_records)
+        for ra, rb in zip(a.execution.epoch_records, b.execution.epoch_records):
+            assert ra.duration_s == rb.duration_s
+            assert (ra.pages == rb.pages).all()
+            assert (ra.counts == rb.counts).all()
+
+
+@pytest.mark.parametrize("system_kind", ["dram", "toss", "reap"])
+def test_invoke_batch_bit_identical(system_kind):
+    """invoke_batch == the scalar invoke loop, twice (second from memo)."""
+    from repro.experiments.common import dram_cached, reap_cached, toss_cached
+
+    if system_kind == "dram":
+        system = dram_cached("float_operation")
+    elif system_kind == "toss":
+        system = toss_cached("float_operation")
+    else:
+        system = reap_cached("float_operation", 3)
+    seeds = list(range(4))
+    scalar = [system.invoke(1, s) for s in seeds]
+    _assert_outcomes_identical(scalar, system.invoke_batch(1, seeds))
+    # Second call answers from the per-system cohort memo.
+    _assert_outcomes_identical(scalar, system.invoke_batch(1, seeds))
+    # Mutating a returned counters object must not poison the memo.
+    tainted = system.invoke_batch(1, seeds)
+    tainted[0].execution.counters.cpu_time_s = -1.0
+    _assert_outcomes_identical(scalar, system.invoke_batch(1, seeds))
