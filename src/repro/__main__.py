@@ -167,6 +167,29 @@ def main(argv: list[str] | None = None) -> int:
         default="results/obs",
         help="output directory (default results/obs)",
     )
+    observe.add_argument(
+        "--include-metrics",
+        action="store_true",
+        help="also write the Prometheus text next to the trace exports",
+    )
+    fleet_report_cmd = sub.add_parser(
+        "fleet-report",
+        help=(
+            "run a cluster scenario fully observed and write the fleet "
+            "Prometheus text, alerts JSONL, per-host Perfetto traces and "
+            "a markdown summary"
+        ),
+    )
+    fleet_report_cmd.add_argument(
+        "scenario",
+        choices=["steady", "crash", "scrub"],
+        help="cluster scenario to run",
+    )
+    fleet_report_cmd.add_argument(
+        "--out",
+        default="results/fleet",
+        help="output directory (default results/fleet)",
+    )
     cluster = sub.add_parser(
         "cluster",
         help="run the fault-tolerant cluster fleet on a synthetic workload",
@@ -210,6 +233,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument(
         "--out", default=None, help="write the toss-bench/v1 JSON report here"
+    )
+    bench.add_argument(
+        "--stacks-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write per-kernel collapsed-stack profiles (flamegraph.pl "
+            "input) into DIR"
+        ),
     )
     bench.add_argument(
         "--baseline",
@@ -288,14 +320,43 @@ def main(argv: list[str] | None = None) -> int:
         perfetto.write_text(perfetto_json(obs.tracer))
         jsonl = out_dir / f"{args.name}.spans.jsonl"
         jsonl.write_text(spans_to_jsonl(obs.tracer))
-        prom = out_dir / f"{args.name}.metrics.prom"
-        prom.write_text(prometheus_text(obs.metrics))
+        written = [perfetto, jsonl]
+        if args.include_metrics:
+            prom = out_dir / f"{args.name}.metrics.prom"
+            prom.write_text(prometheus_text(obs.metrics))
+            written.append(prom)
         print(
             f"captured {len(obs.tracer.spans)} spans, "
             f"{len(obs.tracer.orphan_events)} trace events, "
             f"{len(obs.metrics.families())} metric families"
         )
-        for path in (perfetto, jsonl, prom):
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    if args.command == "fleet-report":
+        import pathlib
+
+        from .experiments import fleet_report
+
+        result = fleet_report.run(args.scenario)
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = []
+        prom = out_dir / "fleet.metrics.prom"
+        prom.write_text(result.fleet_prom)
+        written.append(prom)
+        alerts = out_dir / "alerts.jsonl"
+        alerts.write_text(result.alerts_jsonl)
+        written.append(alerts)
+        summary = out_dir / "summary.md"
+        summary.write_text(result.summary_md)
+        written.append(summary)
+        for hid, trace in sorted(result.host_perfetto.items()):
+            host_trace = out_dir / f"host{hid}.perfetto.json"
+            host_trace.write_text(trace)
+            written.append(host_trace)
+        print(result.summary_md)
+        for path in written:
             print(f"wrote {path}")
         return 0
     if args.command == "cluster":
@@ -379,6 +440,17 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.out:
             print(f"wrote {write_report(report, args.out)}")
+        if args.stacks_out:
+            import pathlib
+
+            stacks_dir = pathlib.Path(args.stacks_out)
+            stacks_dir.mkdir(parents=True, exist_ok=True)
+            for rec in report.records:
+                if not rec.collapsed_stacks:
+                    continue
+                stack_path = stacks_dir / f"{rec.name}.collapsed"
+                stack_path.write_text(rec.collapsed_stacks)
+                print(f"wrote {stack_path}")
         if args.check:
             named = [name for name in args.check if name != _CHECK_ALL]
             # Named kernels keep the generous 1.5x budget (they gate

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigError
+from ..obs import profile as profile_mod
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -86,6 +87,13 @@ class BenchRecord:
     wall_runs_s: tuple[float, ...]
     peak_rss_mb: float
     ops: int
+    profile: dict[str, Any] = field(default_factory=dict)
+    """Phase-profiler output accumulated over the timed runs: a
+    ``{"phases": {path: {"self_s", "count"}}, "accounted_s"}`` mapping
+    whose self times sum to at most the measured wall time (see
+    :class:`repro.obs.profile.PhaseProfiler`)."""
+    collapsed_stacks: str = ""
+    """The same profile as collapsed-stack (flamegraph) text."""
 
     @property
     def wall_median_s(self) -> float:
@@ -97,7 +105,7 @@ class BenchRecord:
         return self.ops / median if median > 0 else float("inf")
 
     def to_json(self) -> dict:
-        return {
+        doc = {
             "tags": list(self.tags),
             "wall_s": {
                 "median": self.wall_median_s,
@@ -109,6 +117,9 @@ class BenchRecord:
             "ops": self.ops,
             "ops_per_s": self.ops_per_s,
         }
+        if self.profile.get("phases"):
+            doc["profile"] = self.profile
+        return doc
 
 
 @dataclass
@@ -198,10 +209,17 @@ def run_benchmarks(
                 progress(f"[bench] {kernel.name}: warmup {i + 1}/{warmup}")
             kernel.run(state)
         runs: list[float] = []
+        # One profiler per kernel, active only around the timed runs:
+        # the instrumented hot spots (execute_cohort, contention solves,
+        # trace synthesis, exporters) account their self time into it,
+        # and because warmup runs are excluded the accounted total can
+        # never exceed the summed timed wall clock.
+        profiler = profile_mod.PhaseProfiler()
         for i in range(repeats):
-            start = time.perf_counter()
-            kernel.run(state)
-            elapsed = time.perf_counter() - start
+            with profile_mod.profiling(profiler):
+                start = time.perf_counter()
+                kernel.run(state)
+                elapsed = time.perf_counter() - start
             runs.append(elapsed)
             if progress is not None:
                 progress(
@@ -215,6 +233,8 @@ def run_benchmarks(
                 wall_runs_s=tuple(runs),
                 peak_rss_mb=round(_peak_rss_mb(), 1),
                 ops=kernel.ops,
+                profile=profiler.to_json(),
+                collapsed_stacks=profiler.collapsed(),
             )
         )
     return BenchReport(

@@ -558,6 +558,11 @@ class ClusterPlatform:
                 "toss_cluster_requests_total",
                 "Requests by cluster-level outcome",
             ).inc(outcome="cluster-shed", reason=reason)
+            if obs.slo is not None:
+                # A cluster shed is an involuntary loss (except
+                # fleet-shedding, which availability() also excludes).
+                if reason != "fleet-shedding":
+                    obs.slo.observe_request(req.dispatch_s, good=False)
 
     def _retry_or_shed(
         self,
@@ -590,6 +595,9 @@ class ClusterPlatform:
         """Serve a batch across the fleet; returns one outcome per
         request (in final settlement order, sorted by submission)."""
         pending = self._validated(requests)
+        parent_obs = obs_runtime.active()
+        fleet = parent_obs.fleet if parent_obs is not None else None
+        slo = parent_obs.slo if parent_obs is not None else None
         boundaries = self._boundaries()
         if self.durability is not None and pending:
             # Scrub ticks split waves too, so a pass's detections and
@@ -665,12 +673,22 @@ class ClusterPlatform:
             for hid in sorted(routed):
                 host = self.hosts[hid]
                 sub = routed[hid]
-                entries = host.platform.serve(
-                    [
-                        (r.dispatch_s, r.function, r.input_index, r.req_class)
-                        for r in sub
-                    ]
-                )
+                sub_requests = [
+                    (r.dispatch_s, r.function, r.input_index, r.req_class)
+                    for r in sub
+                ]
+                if fleet is not None:
+                    # Swap in the host's child observation for the
+                    # duration of its serve: spans and metrics land in
+                    # the per-host tracer/registry (the `hostN/` span
+                    # prefix is already set), and the child carries no
+                    # SLO feed — the cluster feeds the parent tracker
+                    # below, host-labelled, because only the cluster
+                    # sees kills and cluster sheds.
+                    with obs_runtime.observing(fleet.host_observation(hid)):
+                        entries = host.platform.serve(sub_requests)
+                else:
+                    entries = host.platform.serve(sub_requests)
                 # serve() appends exactly one entry per request, in
                 # (arrival, name, input, class) order — the same order
                 # ``sub`` is already in — so the zip is positional truth.
@@ -691,6 +709,13 @@ class ClusterPlatform:
                                 "In-flight requests killed by host crashes",
                             ).inc(host=str(hid))
                         kill_s = max(window[0], req.dispatch_s)
+                        if slo is not None:
+                            # Only the cluster sees the kill: the host
+                            # settled the entry before the crash window
+                            # invalidated it.
+                            slo.observe_request(
+                                kill_s, good=False, host=f"host{hid}"
+                            )
                         self._retry_or_shed(
                             req, kill_s, "host-crash", pending, outcomes
                         )
@@ -721,6 +746,47 @@ class ClusterPlatform:
                             "toss_cluster_requests_total",
                             "Requests by cluster-level outcome",
                         ).inc(outcome=outcome_label, host=str(hid))
+                    if slo is not None and fleet is not None:
+                        # With per-host children active, the host fed
+                        # nothing itself (children carry no SLO feed) —
+                        # the cluster feeds the parent tracker with the
+                        # host label.  Without a fleet aggregator the
+                        # host's own serve already fed these samples.
+                        label = f"host{hid}"
+                        if not entry.shed:
+                            slo.observe_request(
+                                entry.finish_s,
+                                good=not entry.failed,
+                                host=label,
+                            )
+                            slo.observe_signal(
+                                "queue_delay_s",
+                                entry.queue_delay_s,
+                                entry.start_s,
+                                host=label,
+                            )
+                            slo.observe_signal(
+                                "fault_rate",
+                                1.0 if entry.failed else 0.0,
+                                entry.finish_s,
+                                host=label,
+                            )
+                            if not entry.failed:
+                                slo.observe_signal(
+                                    "restore_setup_s",
+                                    entry.setup_time_s,
+                                    entry.finish_s,
+                                    host=label,
+                                )
+                        else:
+                            # Admission sheds are deliberate policy —
+                            # signal only, no SLI sample.
+                            slo.observe_signal(
+                                "queue_delay_s",
+                                entry.queue_delay_s,
+                                entry.arrival_s,
+                                host=label,
+                            )
             if pending and wave_end is not math.inf:
                 # Background replication that completed during this wave:
                 # copies are taken from the holders' state just before the

@@ -25,6 +25,7 @@ from . import (
     ablations,
     common,
     durability,
+    fleet_report,
     fleet_resilience,
     fleet_study,
     fig1_ws_characterization,
@@ -43,6 +44,7 @@ __all__ = [
     "ablations",
     "common",
     "durability",
+    "fleet_report",
     "fleet_resilience",
     "fleet_study",
     "fig1_ws_characterization",

@@ -23,6 +23,7 @@ import numpy as np
 
 from .. import config, rng as rng_mod
 from ..errors import ConfigError
+from ..obs import profile as profile_mod
 from ..trace import cache as trace_cache
 from ..trace.allocator import GuestAllocator
 from ..trace.events import AccessEpoch, InvocationTrace
@@ -183,6 +184,19 @@ class FunctionModel:
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
+        with profile_mod.phase("trace/synth"):
+            trace = self._synthesize(spec, input_index, invocation_seed,
+                                     root_seed)
+        cache.put(cache_key, trace)
+        return trace
+
+    def _synthesize(
+        self,
+        spec: InputSpec,
+        input_index: int,
+        invocation_seed: int,
+        root_seed: int,
+    ) -> InvocationTrace:
         rng = rng_mod.stream(root_seed, "invocation", self.name, input_index, invocation_seed)
 
         ws = self.ws_pages(input_index)
@@ -197,13 +211,11 @@ class FunctionModel:
         cpu_time = spec.t_dram_s * (1.0 - spec.stall_share) * scale
 
         epochs = self._split_epochs(pages, counts, cpu_time, rng)
-        trace = InvocationTrace(
+        return InvocationTrace(
             n_pages=self.n_pages,
             epochs=epochs,
             label=f"{self.name}/input-{INPUT_LABELS[input_index]}",
         )
-        cache.put(cache_key, trace)
-        return trace
 
     def _split_epochs(
         self,

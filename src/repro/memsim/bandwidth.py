@@ -39,6 +39,7 @@ import numpy.typing as npt
 
 from .. import config
 from ..errors import ConfigError
+from ..obs import profile as profile_mod
 from ..obs import runtime as obs_runtime
 from .tiers import MemorySystem
 from .storage import StorageSpec
@@ -293,7 +294,8 @@ class ContentionModel:
             self.solve_cache_hits += 1
             times, inflation = list(shared[0]), dict(shared[1])
         else:
-            times, inflation = self._solve_uncached(demands)
+            with profile_mod.phase("contention/solve"):
+                times, inflation = self._solve_uncached(demands)
             if self._shared_key is not None:
                 self._SHARED_SOLVE_CACHE[(self._shared_key, key)] = (
                     list(times),

@@ -24,16 +24,36 @@ from .export import (
     spans_to_jsonl,
     to_perfetto,
 )
+from .fleet import FleetAggregator
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import PhaseProfiler
 from .runtime import Observation, activate, active, deactivate, observing
+from .slo import (
+    Alert,
+    Anomaly,
+    BurnWindow,
+    HostSloView,
+    SloConfig,
+    SloFeed,
+    SloTracker,
+)
 from .spans import Span, SpanEvent, SpanStatus, Tracer
 
 __all__ = [
+    "Alert",
+    "Anomaly",
+    "BurnWindow",
     "Counter",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
+    "HostSloView",
     "MetricsRegistry",
     "Observation",
+    "PhaseProfiler",
+    "SloConfig",
+    "SloFeed",
+    "SloTracker",
     "Span",
     "SpanEvent",
     "SpanStatus",

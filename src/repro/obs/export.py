@@ -10,8 +10,10 @@ an export against a committed golden fixture.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Iterable, Sequence
 
+from . import profile as profile_mod
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import Span, SpanEvent, SpanStatus, Tracer
 
@@ -81,6 +83,13 @@ def to_perfetto(
     become thread-scoped instants (``ph: "i"``).  The result loads in
     ``chrome://tracing`` and https://ui.perfetto.dev.
     """
+    with profile_mod.phase("export/perfetto"):
+        return _to_perfetto(tracer, process_name=process_name)
+
+
+def _to_perfetto(
+    tracer: Tracer, *, process_name: str = "repro-sim"
+) -> dict[str, Any]:
     spans = _ordered(tracer.spans)
     lane_of = _assign_lanes(spans)
     events: list[dict[str, Any]] = [
@@ -152,7 +161,12 @@ def perfetto_json(tracer: Tracer, *, process_name: str = "repro-sim") -> str:
 def spans_to_jsonl(tracer: Tracer) -> str:
     """One span per line, in ``(start_s, span_id)`` order; round-trips
     through :func:`spans_from_jsonl` to equal spans."""
-    lines = []
+    with profile_mod.phase("export/jsonl"):
+        return _spans_to_jsonl(tracer)
+
+
+def _spans_to_jsonl(tracer: Tracer) -> str:
+    lines: list[str] = []
     for span in _ordered(tracer.spans):
         lines.append(
             json.dumps(
@@ -210,15 +224,27 @@ def spans_from_jsonl(text: str) -> list[Span]:
 
 def _fmt(value: float) -> str:
     """Prometheus sample value rendering (integers without the dot)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label-value escaping: backslash, double-quote
+    and newline must be escaped inside the quoted value."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _labels_text(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 
@@ -237,6 +263,13 @@ def prometheus_text(
     ``histogram_quantile`` — pre-digested latency summaries that need no
     query layer.
     """
+    with profile_mod.phase("export/prometheus"):
+        return _prometheus_text(registry, quantiles=quantiles)
+
+
+def _prometheus_text(
+    registry: MetricsRegistry, *, quantiles: tuple[float, ...]
+) -> str:
     lines: list[str] = []
     for family in registry.families():
         if isinstance(family, Counter):

@@ -13,6 +13,7 @@ same estimate ``histogram_quantile`` computes server-side.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -127,13 +128,15 @@ class Histogram:
         Mirrors Prometheus ``histogram_quantile``: find the bucket where
         the cumulative count crosses ``q * n`` and interpolate within it
         (the +Inf bucket clamps to the highest finite bound).  Returns
-        0.0 with no observations.
+        ``NaN`` with no observations — the same answer
+        ``histogram_quantile`` gives for an empty series, and distinct
+        from a real 0.0 estimate (:meth:`summary` inherits this).
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigError(f"quantile {q} outside [0, 1]")
         sample = self.samples.get(_labelset(labels))
         if sample is None or sample.n == 0:
-            return 0.0
+            return math.nan
         rank = q * sample.n
         cumulative = 0
         for i, upper in enumerate(self.buckets):
@@ -146,7 +149,8 @@ class Histogram:
         return self.buckets[-1]
 
     def summary(self, **labels: str) -> dict[str, float]:
-        """The p50/p95/p99 digest of the labelled sample."""
+        """The p50/p95/p99 digest of the labelled sample (all ``NaN``
+        when the sample has no observations, like :meth:`quantile`)."""
         return {
             "p50": self.quantile(0.50, **labels),
             "p95": self.quantile(0.95, **labels),

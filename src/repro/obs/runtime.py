@@ -20,20 +20,31 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from .metrics import MetricsRegistry
+from .slo import SloFeed
 from .spans import AttrValue, Tracer
 
 if TYPE_CHECKING:
     from ..sim.loop import EventLoop
+    from .fleet import FleetAggregator
 
 __all__ = ["Observation", "activate", "active", "deactivate", "observing"]
 
 
 @dataclass
 class Observation:
-    """A tracer plus a metrics registry, activated as one unit."""
+    """A tracer plus a metrics registry, activated as one unit.
+
+    The optional ``slo`` feed receives streaming request/signal samples
+    from the serving layers; the optional ``fleet`` aggregator hands
+    out per-host child observations under ``ClusterPlatform.serve``.
+    Both default to ``None`` so plain single-platform observation pays
+    nothing for the fleet machinery.
+    """
 
     tracer: Tracer = field(default_factory=Tracer)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    slo: SloFeed | None = None
+    fleet: "FleetAggregator | None" = None
 
     def wire_loop(self, loop: "EventLoop") -> None:
         """Attach the loop's resource-wait hook so Acquire/Release grants

@@ -599,6 +599,12 @@ class ServerlessPlatform:
                         deadline_s=deadline_s,
                     )
                 )
+                if obs is not None and obs.slo is not None:
+                    obs.slo.observe_request(start, good=False)
+                    obs.slo.observe_signal(
+                        "queue_delay_s", start - arrival, start
+                    )
+                    obs.slo.observe_signal("fault_rate", 1.0, start)
                 return
             dep.invocations += 1
             setup_hidden = False
@@ -658,6 +664,15 @@ class ServerlessPlatform:
                     aborted=outcome.aborted,
                 )
             )
+            if obs is not None and obs.slo is not None:
+                obs.slo.observe_request(finish, good=True)
+                obs.slo.observe_signal(
+                    "queue_delay_s", start - arrival, start
+                )
+                obs.slo.observe_signal("fault_rate", 0.0, finish)
+                obs.slo.observe_signal(
+                    "restore_setup_s", outcome.setup_time_s, finish
+                )
             if span is not None:
                 span.attrs["phase"] = outcome.phase.value
                 span.attrs["setup_s"] = outcome.setup_time_s
@@ -825,6 +840,13 @@ class ServerlessPlatform:
                 "toss_queue_delay_seconds",
                 "Seconds requests waited for a free core",
             ).observe(queue_delay_s)
+            if obs.slo is not None:
+                # Admission sheds are deliberate policy, not SLI errors
+                # (availability() excludes them) — only the queue-delay
+                # signal feeds the anomaly detector.
+                obs.slo.observe_signal(
+                    "queue_delay_s", queue_delay_s, arrival
+                )
 
     def _emit_breaker_transition(
         self,

@@ -42,6 +42,7 @@ from ..errors import VMError
 from ..memsim.accounting import PerfCounters
 from ..memsim.bandwidth import TierDemand
 from ..memsim.tiers import MemorySystem, Tier
+from ..obs import profile as profile_mod
 from ..obs import runtime as obs_runtime
 from .batch import segment_fold_left, segment_sums_int
 
@@ -174,6 +175,13 @@ def execute_cohort(
     page-version writes are unobservable: each scalar invocation's VM is
     discarded after its one execute).
     """
+    with profile_mod.phase("sim/execute_cohort"):
+        return _execute_cohort(vm, traces)
+
+
+def _execute_cohort(
+    vm: "MicroVM", traces: Sequence["InvocationTrace"]
+) -> "list[ExecutionResult]":
     from ..vm.microvm import Backing, EpochRecord, ExecutionResult
 
     if vm.page_cache is not None:

@@ -42,7 +42,7 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["plot", "fig42"])
 
-    def test_observe_writes_all_exports(self, tmp_path, capsys):
+    def test_observe_writes_trace_exports(self, tmp_path, capsys):
         import json
 
         assert main(["observe", "fig1", "--out", str(tmp_path)]) == 0
@@ -53,6 +53,13 @@ class TestCli:
         assert any(e["ph"] == "X" for e in trace["traceEvents"])
         jsonl = (tmp_path / "fig1.spans.jsonl").read_text()
         assert jsonl and json.loads(jsonl.splitlines()[0])["span_id"]
+        # Metrics are opt-in (--include-metrics): trace-only by default.
+        assert not (tmp_path / "fig1.metrics.prom").exists()
+
+    def test_observe_include_metrics_writes_prometheus(self, tmp_path):
+        assert main(
+            ["observe", "fig1", "--out", str(tmp_path), "--include-metrics"]
+        ) == 0
         prom = (tmp_path / "fig1.metrics.prom").read_text()
         assert "toss_execute_seconds_p95" in prom
 

@@ -89,6 +89,30 @@ class TestPerfetto:
         assert a == b
         json.loads(a)
 
+    def test_lane_assignment_is_stable_for_children(self):
+        # Children must ride their root's lane, including under
+        # concurrency — and the assignment must be identical on every
+        # export of the same trace.
+        def build() -> Tracer:
+            tracer = Tracer()
+            with tracer.span("a"):
+                tracer.record("a/child", 0.5)
+                tracer.seek(2.0)
+            tracer.seek(1.0)
+            with tracer.span("b"):  # overlaps a
+                tracer.record("b/child", 0.5)
+                tracer.seek(3.0)
+            return tracer
+
+        trace = to_perfetto(build())
+        tids = {
+            e["name"]: e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert tids["a/child"] == tids["a"]
+        assert tids["b/child"] == tids["b"]
+        assert tids["a"] != tids["b"]
+        assert perfetto_json(build()) == perfetto_json(build())
+
 
 class TestJsonl:
     def test_round_trip_equality(self):
@@ -105,6 +129,32 @@ class TestJsonl:
         assert len(lines) == len(sample_tracer().spans)
         for line in lines:
             assert isinstance(json.loads(line), dict)
+
+    def test_aborted_span_round_trips(self):
+        tracer = Tracer()
+        tracer.record(
+            "request/json_load_dump",
+            0.0,
+            attrs={"shed_reason": "deadline"},
+            status=SpanStatus.ABORTED,
+        )
+        (reloaded,) = spans_from_jsonl(spans_to_jsonl(tracer))
+        assert reloaded.status is SpanStatus.ABORTED
+        assert reloaded.attrs["shed_reason"] == "deadline"
+        assert reloaded == tracer.finished()[0]
+
+    def test_instant_events_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("restore/toss"):
+            tracer.event("queue-wait", attrs={"wait_s": 0.25})
+            tracer.event("prefetch-hit", at_s=0.125)
+        (reloaded,) = spans_from_jsonl(spans_to_jsonl(tracer))
+        assert [e.name for e in reloaded.events] == [
+            "queue-wait", "prefetch-hit",
+        ]
+        assert reloaded.events[0].attrs == {"wait_s": 0.25}
+        assert reloaded.events[1].at_s == 0.125
+        assert reloaded == tracer.finished()[0]
 
 
 PROM_SAMPLE = re.compile(
@@ -188,3 +238,19 @@ class TestPrometheus:
 
     def test_empty_registry_is_empty_text(self):
         assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_are_escaped(self):
+        # Exposition format: backslash, double-quote and newline must be
+        # escaped inside quoted label values — a raw `"` would terminate
+        # the value early and corrupt the whole sample line.
+        reg = MetricsRegistry()
+        reg.counter("toss_errors_total", "errors").inc(
+            reason='input "IV"', path="C:\\snap", msg="line1\nline2"
+        )
+        text = prometheus_text(reg)
+        assert r'reason="input \"IV\""' in text
+        assert r'path="C:\\snap"' in text
+        assert r'msg="line1\nline2"' in text
+        assert "\n".join(
+            line for line in text.splitlines() if "line2" in line
+        ).count("\n") == 0  # the newline never splits the sample line

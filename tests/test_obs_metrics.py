@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.errors import ConfigError
@@ -53,8 +55,29 @@ class TestHistogram:
         (sample,) = h.samples.values()
         assert sample.counts == [1, 1, 1]
 
-    def test_quantile_empty_is_zero(self):
-        assert Histogram("lat", "").quantile(0.95) == 0.0
+    def test_quantile_empty_is_nan(self):
+        # An empty histogram has no quantile — NaN, like PromQL's
+        # histogram_quantile over an empty series, never a fake 0.0.
+        assert math.isnan(Histogram("lat", "").quantile(0.95))
+
+    def test_summary_empty_is_nan(self):
+        summary = Histogram("lat", "").summary()
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert all(math.isnan(v) for v in summary.values())
+
+    def test_quantile_single_sample(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        q = h.quantile(0.95)
+        assert 1.0 <= q <= 2.0 and not math.isnan(q)
+
+    def test_quantile_all_in_overflow_bucket(self):
+        h = Histogram("lat", "", buckets=(1.0, 2.0, 4.0))
+        for _ in range(5):
+            h.observe(100.0)  # +Inf bucket only
+        # Clamps to the highest finite bound rather than inventing a
+        # value beyond the bucket layout (histogram_quantile semantics).
+        assert h.quantile(0.99) == 4.0
 
     def test_quantile_interpolates_within_bucket(self):
         h = Histogram("lat", "", buckets=(1.0, 2.0))
