@@ -85,6 +85,16 @@ def _run_durability():
     return ex.durability.run().table.render()
 
 
+def _run_tco():
+    result = ex.tco_frontier.run()
+    return result.table.render() + (
+        f"\n\nbest two-tier cost: {result.best_two_tier_cost:.3f}, best "
+        f"compressed-tier cost: {result.best_compressed_cost:.3f} "
+        f"(compressed tiers push the frontier down: "
+        f"{result.compressed_beats_two_tier})"
+    )
+
+
 def _run_ablations():
     return "\n\n".join(
         t.render()
@@ -116,6 +126,10 @@ EXPERIMENTS = {
     "durability": (
         "Extension: snapshot durability vs bit-rot, replication and scrub",
         _run_durability,
+    ),
+    "tco": (
+        "Extension: TCO-vs-slowdown frontier with compressed tiers",
+        _run_tco,
     ),
 }
 

@@ -266,10 +266,16 @@ def load_baseline(path: str | Path) -> dict[str, float]:
             f"{path}: schema {doc.get('schema')!r} is not {SCHEMA_VERSION!r}"
         )
     medians: dict[str, float] = {}
-    for name, entry in doc.get("benchmarks", {}).items():
-        medians[name] = float(entry["wall_s"]["median"])
-    for name, entry in doc.get("baseline", {}).items():
-        medians.setdefault(name, float(entry["wall_s_median"]))
+    try:
+        for name, entry in doc.get("benchmarks", {}).items():
+            medians[name] = float(entry["wall_s"]["median"])
+        for name, entry in doc.get("baseline", {}).items():
+            medians.setdefault(name, float(entry["wall_s_median"]))
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(
+            f"{path}: malformed benchmark entry {name!r} "
+            "(expected wall_s.median / wall_s_median)"
+        ) from exc
     return medians
 
 
@@ -285,19 +291,32 @@ def compare_to_baseline(
     A benchmark fails when its median wall time exceeds
     ``max_regression`` times the baseline median.  ``names`` restricts
     the gate to specific benchmarks (default: every benchmark present
-    in both the report and the baseline).
+    in the report).  Mismatches fail with a clear message instead of
+    slipping through (or blowing up with a ``KeyError``): a gated name
+    missing from the run fails as "not produced by this run", and a
+    report benchmark with no baseline median fails as "no baseline
+    median recorded — regenerate the baseline".
     """
     if max_regression <= 0:
         raise ConfigError("max_regression must be positive")
     failures: list[str] = []
     gate = set(names) if names is not None else None
+    produced = {rec.name for rec in report.records}
+    if gate is not None:
+        for name in sorted(gate - produced):
+            failures.append(
+                f"{name}: requested by --check but not produced by this "
+                "run (check the kernel name and --filter)"
+            )
     for rec in report.records:
         if gate is not None and rec.name not in gate:
             continue
         base = baseline_medians.get(rec.name)
         if base is None:
-            if gate is not None:
-                failures.append(f"{rec.name}: no baseline median recorded")
+            failures.append(
+                f"{rec.name}: no baseline median recorded — regenerate "
+                "the baseline"
+            )
             continue
         budget = base * max_regression
         if rec.wall_median_s > budget:

@@ -71,6 +71,25 @@ def _fleet_run(mod):
     return mod.run()
 
 
+# -- TCO frontier --------------------------------------------------------------
+
+_TCO_THRESHOLDS = (0.05, 0.15, 0.30)
+
+
+def _tco_setup():
+    from ..experiments import tco_frontier
+
+    # Converge the profiling pipeline outside the timed body; the timed
+    # run measures the frontier sweep itself (one N-tier search per
+    # configuration and budget).
+    tco_frontier.run(slowdown_thresholds=(_TCO_THRESHOLDS[0],))
+    return tco_frontier
+
+
+def _tco_run(mod):
+    return mod.run(slowdown_thresholds=_TCO_THRESHOLDS)
+
+
 # -- DAMON ---------------------------------------------------------------------
 
 _DAMON_PASSES = 4
@@ -347,6 +366,14 @@ KERNELS: tuple[BenchKernel, ...] = (
         setup=_cluster_setup,
         run=_cluster_chaos_run,
         ops=_CLUSTER_REQUESTS,
+    ),
+    BenchKernel(
+        name="tco_frontier",
+        description="TCO-vs-slowdown frontier sweep (4 configs x 3 budgets)",
+        setup=_tco_setup,
+        run=_tco_run,
+        ops=len(_TCO_THRESHOLDS) * 4,
+        tags=("smoke",),
     ),
     BenchKernel(
         name="scrub_fleet",

@@ -12,11 +12,17 @@ the optimum: everything in the slow tier at zero slowdown.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ConfigError
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
 
-__all__ = ["memory_cost", "normalized_cost", "CostPoint"]
+__all__ = [
+    "memory_cost",
+    "normalized_cost",
+    "normalized_cost_tiers",
+    "CostPoint",
+]
 
 
 def memory_cost(
@@ -56,8 +62,55 @@ def normalized_cost(
         raise AnalysisError(f"slowdown {slowdown} below 1.0 is not meaningful")
     if not 0.0 <= fast_fraction <= 1.0:
         raise AnalysisError("fast_fraction must lie in [0, 1]")
+    if memory.fast.cost_per_mb == 0:
+        raise ConfigError(
+            f"cannot normalize cost: fast tier {memory.fast.name!r} is free "
+            "(cost_per_mb=0)"
+        )
     slow_fraction = 1.0 - fast_fraction
+    # Zero-price limit taken explicitly: a free slow tier contributes
+    # nothing to the bill instead of dividing by a zero ratio.
+    if memory.slow.cost_per_mb == 0:
+        return slowdown * fast_fraction
     return slowdown * (fast_fraction + slow_fraction / memory.cost_ratio)
+
+
+def normalized_cost_tiers(
+    slowdown: float,
+    fractions: Sequence[float],
+    memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+) -> float:
+    """Equation 1 over the memory system's full tier chain.
+
+    ``fractions`` gives the share of guest memory on each tier in *chain*
+    order (fast, middle tiers, slow; see
+    :attr:`~repro.memsim.tiers.MemorySystem.chain`), normalized to the
+    all-fast configuration.  Free tiers contribute nothing (the explicit
+    zero-price limit); on a plain two-tier system with fractions
+    ``(f, 1 - f)`` this equals :func:`normalized_cost` exactly.
+    """
+    if slowdown < 1.0:
+        raise AnalysisError(f"slowdown {slowdown} below 1.0 is not meaningful")
+    chain = memory.chain
+    fractions = [float(f) for f in fractions]
+    if len(fractions) != len(chain):
+        raise AnalysisError(
+            f"need one fraction per tier ({len(chain)}), got {len(fractions)}"
+        )
+    if any(f < -1e-12 for f in fractions):
+        raise AnalysisError("fractions must be non-negative")
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise AnalysisError("fractions must sum to 1")
+    fast_price = memory.fast.cost_per_mb
+    if fast_price == 0:
+        raise ConfigError(
+            f"cannot normalize cost: fast tier {memory.fast.name!r} is free "
+            "(cost_per_mb=0)"
+        )
+    return slowdown * sum(
+        f * (spec.cost_per_mb / fast_price)
+        for f, spec in zip(fractions, chain)
+    )
 
 
 @dataclass(frozen=True)

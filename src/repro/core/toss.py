@@ -464,6 +464,7 @@ class TossController:
             self.single_snapshot,
             self.analysis,
             source_inputs=(self._biggest_input,),
+            memory=self.memory,
         )
         full_slow = self.analysis.base_slowdown - 1.0 + sum(
             b.incremental_slowdown for b in self.analysis.bins

@@ -18,6 +18,7 @@ Sec VI-C3    :mod:`.sec6c3_snapshot_variance`
 Figure 7     :mod:`.fig7_setup_time`
 Figure 8     :mod:`.fig8_invocation_time`
 Figure 9     :mod:`.fig9_scalability`
+TCO front.   :mod:`.tco_frontier` (compressed-tier extension)
 ===========  ==========================================================
 """
 
@@ -38,6 +39,7 @@ from . import (
     fig9_scalability,
     sec6c3_snapshot_variance,
     table2_slow_tier_pct,
+    tco_frontier,
 )
 
 __all__ = [
@@ -57,4 +59,5 @@ __all__ = [
     "fig9_scalability",
     "sec6c3_snapshot_variance",
     "table2_slow_tier_pct",
+    "tco_frontier",
 ]

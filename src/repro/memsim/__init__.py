@@ -16,12 +16,24 @@ from .storage import StorageSpec, StorageDevice, DEFAULT_SSD
 from .page_cache import HostPageCache
 from .bandwidth import ContentionModel, TierDemand
 from .accounting import Clock, PerfCounters
+from .compressed import (
+    CompressionPoint,
+    CompressedTierSpec,
+    OPERATING_POINTS,
+    compressed_tier,
+    compressed_memory_system,
+)
 
 __all__ = [
     "Tier",
     "TierSpec",
     "MemorySystem",
     "DEFAULT_MEMORY_SYSTEM",
+    "CompressionPoint",
+    "CompressedTierSpec",
+    "OPERATING_POINTS",
+    "compressed_tier",
+    "compressed_memory_system",
     "StorageSpec",
     "StorageDevice",
     "DEFAULT_SSD",

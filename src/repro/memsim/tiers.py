@@ -81,13 +81,17 @@ class TierSpec:
             "store_latency_s": self.store_latency_s,
             "bandwidth_bps": self.bandwidth_bps,
             "access_bytes": self.access_bytes,
-            "cost_per_mb": self.cost_per_mb,
             "read_ops_cap": self.read_ops_cap,
             "write_ops_cap": self.write_ops_cap,
         }
         for label, value in positive.items():
             if value <= 0:
                 raise ConfigError(f"{self.name}: {label} must be positive")
+        # A zero price is a meaningful limit (free archive/compressed
+        # capacity); consumers that form price *ratios* handle it
+        # explicitly (see MemorySystem.cost_ratio).
+        if self.cost_per_mb < 0:
+            raise ConfigError(f"{self.name}: cost_per_mb must be non-negative")
         if self.random_penalty < 1.0:
             raise ConfigError(f"{self.name}: random penalty must be >= 1")
 
@@ -135,12 +139,21 @@ PMEM_SPEC = TierSpec(
 
 @dataclass(frozen=True)
 class MemorySystem:
-    """A two-tier main memory: one fast and one slow tier.
+    """A main memory of ordered tiers: fast, optional middle, slow.
 
     The single source of truth for per-tier latency and price, consumed by
     the execution engine (:mod:`repro.vm.microvm`), the cost model
     (:mod:`repro.core.cost`) and the contention model
     (:mod:`repro.memsim.bandwidth`).
+
+    Historically this was exactly one fast and one slow tier, and that
+    remains the default shape (``middle=()``): every two-tier code path is
+    untouched and bit-identical.  ``middle`` inserts software-defined
+    tiers (e.g. compressed DRAM pools, :mod:`repro.memsim.compressed`)
+    *between* the fast and slow tiers in the speed/price chain.  Tier ids
+    stay stable — ``Tier.FAST`` is 0 and ``Tier.SLOW`` is 1 as always —
+    and middle tier ``i`` takes id ``2 + i``, so existing placements and
+    per-tier arrays never re-index.
     """
 
     fast: TierSpec
@@ -150,12 +163,71 @@ class MemorySystem:
     set, :meth:`spec` inflates slow-tier latency by the hook's current
     backpressure multiplier; ``None`` (the default) is the exact pre-fault
     happy path."""
+    middle: tuple[TierSpec, ...] = ()
+    """Software-defined tiers between fast and slow, ordered fastest
+    first.  Middle tier ``i`` has tier id ``2 + i``."""
 
     def __post_init__(self) -> None:
-        if self.slow.load_latency_s < self.fast.load_latency_s:
-            raise ConfigError("slow tier must not be faster than the fast tier")
-        if self.slow.cost_per_mb > self.fast.cost_per_mb:
-            raise ConfigError("slow tier must not cost more than the fast tier")
+        object.__setattr__(self, "middle", tuple(self.middle))
+        # Validate the full chain (fastest/priciest first), not just the
+        # fast/slow endpoints: every tier must be no faster and no
+        # pricier than the one above it, so demotion is always a
+        # price-for-latency trade.
+        chain = self.chain
+        for above, below in zip(chain, chain[1:]):
+            if below.load_latency_s < above.load_latency_s:
+                if len(chain) == 2:
+                    raise ConfigError(
+                        "slow tier must not be faster than the fast tier"
+                    )
+                raise ConfigError(
+                    f"{below.name} is faster than {above.name}: tiers must "
+                    "be ordered fastest first"
+                )
+            if below.cost_per_mb > above.cost_per_mb:
+                if len(chain) == 2:
+                    raise ConfigError(
+                        "slow tier must not cost more than the fast tier"
+                    )
+                raise ConfigError(
+                    f"{below.name} costs more than {above.name}: tiers must "
+                    "be ordered priciest first"
+                )
+
+    @property
+    def chain(self) -> tuple[TierSpec, ...]:
+        """All tiers in logical order: fast, middle tiers, slow."""
+        return (self.fast, *self.middle, self.slow)
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers in the chain (2 without middle tiers)."""
+        return 2 + len(self.middle)
+
+    @property
+    def tier_ids(self) -> tuple[int, ...]:
+        """Tier ids in chain (fastest-first) order.
+
+        Ids are stable, not positional: ``(0, 2, 3, ..., 1)`` — the fast
+        and slow endpoints keep their historical ids 0 and 1 and middle
+        tiers claim 2 upward, so two-tier placements stay valid verbatim.
+        """
+        return (
+            int(Tier.FAST),
+            *range(2, 2 + len(self.middle)),
+            int(Tier.SLOW),
+        )
+
+    def chain_index(self, tier: Tier | int) -> int:
+        """Position of a tier id within :attr:`chain`."""
+        t = int(tier)
+        if t == int(Tier.FAST):
+            return 0
+        if t == int(Tier.SLOW):
+            return 1 + len(self.middle)
+        if 2 <= t < 2 + len(self.middle):
+            return t - 1
+        raise ConfigError(f"unknown tier id {t}")
 
     def with_fault_hook(self, hook: object | None) -> "MemorySystem":
         """A copy of this system wired to a fault hook (or unwired)."""
@@ -168,8 +240,13 @@ class MemorySystem:
         the returned slow spec carries inflated load/store latencies, so
         execution, accounting, and billing all see the same degraded
         device."""
-        if Tier(tier) == Tier.FAST:
+        t = int(tier)
+        if t == int(Tier.FAST):
             return self.fast
+        if t != int(Tier.SLOW):
+            if 2 <= t < 2 + len(self.middle):
+                return self.middle[t - 2]
+            raise ConfigError(f"unknown tier id {t}")
         if self.fault_hook is not None:
             mult = self.fault_hook.slow_latency_multiplier()
             if mult > 1.0:
@@ -197,20 +274,50 @@ class MemorySystem:
         hook = self.fault_hook
         if hook is None or hook.is_zero:
             return np.empty(0, dtype=np.int64)
-        media = self.fast.media_class if Tier(tier) == Tier.FAST else (
-            self.slow.media_class
-        )
+        media = self.spec(tier).media_class
         return hook.rot_snapshot(snapshot, residency_s, media)
 
     @property
     def cost_ratio(self) -> float:
-        """Price ratio fast/slow (2.5 in the paper)."""
+        """Price ratio fast/slow (2.5 in the paper).
+
+        Undefined when the slow tier is free: a ratio against a zero
+        price diverges, so callers that can express the zero-price limit
+        directly (e.g. :func:`repro.core.cost.normalized_cost`) must do
+        so instead of dividing by this.
+        """
+        if self.slow.cost_per_mb == 0:
+            raise ConfigError(
+                f"cost ratio is undefined: slow tier {self.slow.name!r} is "
+                "free (cost_per_mb=0); handle the zero-price limit "
+                "explicitly instead of forming a ratio"
+            )
         return self.fast.cost_per_mb / self.slow.cost_per_mb
+
+    def price_relative(self, tier: Tier | int) -> float:
+        """A tier's price relative to the fast tier (<= 1 on any chain).
+
+        The zero-price limit is explicit: a free tier contributes 0.  A
+        free *fast* tier cannot normalize anything and raises.
+        """
+        if self.fast.cost_per_mb == 0:
+            raise ConfigError(
+                f"cannot normalize prices: fast tier {self.fast.name!r} is "
+                "free (cost_per_mb=0)"
+            )
+        return self.spec(tier).cost_per_mb / self.fast.cost_per_mb
 
     @property
     def optimal_normalized_cost(self) -> float:
-        """Normalized cost of all-slow placement at zero slowdown (0.4)."""
-        return 1.0 / self.cost_ratio
+        """Normalized cost of the cheapest tier at zero slowdown (0.4 on
+        the paper's two-tier platform)."""
+        # Chain ordering caps every price at the fast tier's, so a free
+        # fast tier implies a free slow tier and is caught here too.
+        if self.slow.cost_per_mb == 0:
+            return 0.0
+        if not self.middle:
+            return 1.0 / self.cost_ratio
+        return min(t.cost_per_mb for t in self.chain) / self.fast.cost_per_mb
 
     def access_latencies(
         self, random_fraction: float = 0.0, store_fraction: float = 0.0
@@ -223,6 +330,37 @@ class MemorySystem:
                 slow.effective_access_latency_s(random_fraction, store_fraction),
             ]
         )
+
+    def access_latency_by_id(
+        self, random_fraction: float = 0.0, store_fraction: float = 0.0
+    ) -> np.ndarray:
+        """Per-tier effective access latency, indexable by *tier id*.
+
+        Index 0 is the fast tier, 1 the slow tier (through :meth:`spec`,
+        so backpressure applies) and ``2 + i`` middle tier ``i`` — the
+        N-tier companion of :meth:`access_latencies` for vectorised
+        per-id bincounts.
+        """
+        slow = self.spec(Tier.SLOW)
+        return np.array(
+            [
+                self.fast.effective_access_latency_s(
+                    random_fraction, store_fraction
+                ),
+                slow.effective_access_latency_s(random_fraction, store_fraction),
+                *(
+                    m.effective_access_latency_s(random_fraction, store_fraction)
+                    for m in self.middle
+                ),
+            ]
+        )
+
+    def ladder(self):
+        """This chain as a :class:`repro.multitier.TierLadder` (chain
+        order, fastest first) for the N-tier placement machinery."""
+        from ..multitier.system import TierLadder
+
+        return TierLadder(tiers=self.chain)
 
     def latency_ratio(
         self, random_fraction: float = 0.0, store_fraction: float = 0.0

@@ -87,17 +87,37 @@ class MultiTierAnalyzer:
         profile_trace: InvocationTrace,
         *,
         slowdown_threshold: float | None = None,
+        seed_placement: np.ndarray | None = None,
     ) -> MultiTierPlacement:
-        """Search for the minimum-cost N-tier placement."""
+        """Search for the minimum-cost N-tier placement.
+
+        ``seed_placement`` starts the hill climb from a known-good
+        placement instead of all-rung-0 — e.g. the two-tier result
+        projected onto this ladder.  Because every applied move strictly
+        reduces cost (within the slowdown threshold), the result can
+        never cost more than the seed: seeding with the projected
+        two-tier placement guarantees that adding rungs never raises the
+        optimizer's cost at a fixed slowdown budget.
+        """
         if pattern.n_pages != profile_trace.n_pages:
             raise AnalysisError("pattern and profiling trace cover different guests")
         n_pages = pattern.n_pages
         bins, zero_regions = self._bins(pattern)
         bottom = self.ladder.n_tiers - 1
 
-        placement = np.zeros(n_pages, dtype=np.uint8)
-        for region in zero_regions:
-            placement[region.start_page : region.end_page] = bottom
+        if seed_placement is not None:
+            placement = np.asarray(seed_placement, dtype=np.uint8).copy()
+            if placement.shape != (n_pages,):
+                raise AnalysisError("seed placement shape does not match guest")
+            if placement.size and int(placement.max()) >= self.ladder.n_tiers:
+                raise AnalysisError(
+                    f"seed placement references tier {int(placement.max())}, "
+                    f"ladder has {self.ladder.n_tiers}"
+                )
+        else:
+            placement = np.zeros(n_pages, dtype=np.uint8)
+            for region in zero_regions:
+                placement[region.start_page : region.end_page] = bottom
 
         base_time = MultiTierVM(n_pages, self.ladder).execute_time_s(
             profile_trace
@@ -110,7 +130,12 @@ class MultiTierAnalyzer:
             sd = normalized_slowdown(vm.execute_time_s(profile_trace), base_time)
             return sd, multi_tier_cost(sd, vm.tier_fractions(), self.ladder)
 
-        assignment = [0] * len(bins)
+        # A bin's starting rung comes from the (possibly seeded) placement
+        # so the "skip the current rung" test stays truthful.
+        assignment = [
+            int(placement[regions[0].start_page]) if regions else 0
+            for regions in bins
+        ]
         current_sd, current_cost = evaluate(placement)
         moves = 0
         for _ in range(self.max_rounds):

@@ -50,8 +50,18 @@ class TierLadder:
         return self.tiers[tier]
 
     def price_ratios(self) -> np.ndarray:
-        """Per-tier price relative to tier 0 (<= 1, non-increasing)."""
+        """Per-tier price relative to tier 0 (<= 1, non-increasing).
+
+        Lower rungs may be free (their ratio is 0: the explicit
+        zero-price limit); a free *top* rung cannot normalize anything
+        and raises a typed error instead of dividing by zero.
+        """
         top = self.tiers[0].cost_per_mb
+        if top == 0:
+            raise ConfigError(
+                f"cannot normalize prices: tier 0 ({self.tiers[0].name!r}) "
+                "is free (cost_per_mb=0)"
+            )
         return np.array([t.cost_per_mb / top for t in self.tiers])
 
     @property

@@ -11,6 +11,7 @@ current single-tier plan — users never pay more.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..errors import ConfigError
 from ..memsim.tiers import DEFAULT_MEMORY_SYSTEM, MemorySystem
@@ -44,12 +45,18 @@ def bill_invocation(
     slowdown: float = 1.0,
     plan: VendorPlan = AWS_LAMBDA,
     memory: MemorySystem = DEFAULT_MEMORY_SYSTEM,
+    tier_fractions: Sequence[float] | None = None,
 ) -> TieredBill:
     """Bill one invocation under both plans.
 
     ``duration_s`` is the invocation as observed (already slowed down);
     the DRAM reference duration is recovered by dividing the slowdown out,
     so the comparison matches Equation 1's structure.
+
+    ``tier_fractions`` prices an N-tier placement: per-tier memory shares
+    in chain order (fast, middle tiers, slow; must sum to 1).  When given
+    it supersedes ``slow_fraction`` in the blend; the reported
+    ``slow_fraction`` then means "share not on the fast tier".
     """
     if not 0.0 <= slow_fraction <= 1.0:
         raise ConfigError("slow_fraction must lie in [0, 1]")
@@ -59,9 +66,28 @@ def bill_invocation(
     dram_cost = plan.invocation_cost(guest_mb, dram_duration)
 
     # Blended per-MB price, normalised so all-fast costs exactly the
-    # vendor rate (users never pay more than today's plans).
-    fast_fraction = 1.0 - slow_fraction
-    blend = fast_fraction + slow_fraction / memory.cost_ratio
+    # vendor rate (users never pay more than today's plans).  A free
+    # tier's share costs nothing (explicit zero-price limit).
+    if tier_fractions is not None:
+        chain = memory.chain
+        if len(tier_fractions) != len(chain):
+            raise ConfigError(
+                f"need one fraction per tier ({len(chain)}), got "
+                f"{len(tier_fractions)}"
+            )
+        if abs(sum(tier_fractions) - 1.0) > 1e-6:
+            raise ConfigError("tier_fractions must sum to 1")
+        blend = sum(
+            float(f) * memory.price_relative(tid)
+            for f, tid in zip(tier_fractions, memory.tier_ids)
+        )
+        slow_fraction = 1.0 - float(tier_fractions[0])
+    else:
+        fast_fraction = 1.0 - slow_fraction
+        if memory.slow.cost_per_mb == 0:
+            blend = fast_fraction
+        else:
+            blend = fast_fraction + slow_fraction / memory.cost_ratio
     tiered_rate = plan.rate_per_mb_ms * blend
     tiered_plan = VendorPlan(
         name=f"{plan.name}-tiered",

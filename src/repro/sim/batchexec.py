@@ -151,7 +151,10 @@ def cohort_eligible(memory: MemorySystem) -> bool:
     * a process-wide fault injector is installed (restores draw from it);
     * an observation runtime is active (execute/restore emit spans);
     * the memory system carries a fault hook (slow-tier specs become
-      time-dependent).
+      time-dependent);
+    * the memory system has middle tiers (compressed pools): the
+      vectorized tally assumes the two-tier fast/slow split, so N-tier
+      cohorts fall back to the scalar engine's N-tier path.
 
     Per-cohort conditions (SSD-backed pages needing the host page cache)
     are checked by the caller against the restored template VM.
@@ -160,6 +163,7 @@ def cohort_eligible(memory: MemorySystem) -> bool:
         faults.resolve(None) is None
         and obs_runtime.active() is None
         and memory.fault_hook is None
+        and not memory.middle
     )
 
 

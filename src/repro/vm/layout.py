@@ -39,7 +39,11 @@ class LayoutEntry:
     n_pages: int
 
     def __post_init__(self) -> None:
-        if self.tier not in (int(Tier.FAST), int(Tier.SLOW)):
+        # Tier ids 0/1 are the fast/slow endpoints; 2+ are the memory
+        # system's middle tiers (compressed pools).  The layout file only
+        # needs ids to be well-formed — which ids exist is the memory
+        # system's business at restore time.
+        if not isinstance(self.tier, int) or self.tier < 0:
             raise LayoutError(f"unknown tier id {self.tier}")
         if self.file_offset_page < 0 or self.guest_start_page < 0:
             raise LayoutError("offsets must be non-negative")
@@ -90,15 +94,16 @@ class MemoryLayout:
         entries = []
         for region in regions:
             tier = int(region.value)
+            offset = next_offset.setdefault(tier, 0)
             entries.append(
                 LayoutEntry(
                     tier=tier,
-                    file_offset_page=next_offset[tier],
+                    file_offset_page=offset,
                     guest_start_page=region.start_page,
                     n_pages=region.n_pages,
                 )
             )
-            next_offset[tier] += region.n_pages
+            next_offset[tier] = offset + region.n_pages
         return cls(placement.size, entries)
 
     # -- queries --------------------------------------------------------------
@@ -127,6 +132,13 @@ class MemoryLayout:
     def file_pages(self, tier: Tier | int) -> int:
         """Size of a tier's snapshot file in pages."""
         return self.pages_in_tier(tier)
+
+    def pages_by_tier(self) -> dict[int, int]:
+        """Guest pages per tier id, for every tier with an entry."""
+        out: dict[int, int] = {}
+        for e in self.entries:
+            out[e.tier] = out.get(e.tier, 0) + e.n_pages
+        return out
 
     @property
     def n_mappings(self) -> int:
@@ -171,7 +183,8 @@ class MemoryLayout:
         ]
         validate_partition(regions, self.n_pages)
         # File offsets within each tier must tile that tier's file.
-        for tier in (int(Tier.FAST), int(Tier.SLOW)):
+        tiers_present = {e.tier for e in self.entries}
+        for tier in sorted(tiers_present | {int(Tier.FAST), int(Tier.SLOW)}):
             spans = sorted(
                 (e.file_offset_page, e.n_pages)
                 for e in self.entries

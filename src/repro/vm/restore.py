@@ -415,6 +415,12 @@ def tiered_restore(
     backing = np.where(
         placement == int(Tier.SLOW), int(Backing.DAX_SLOW), int(Backing.PMEM_COPY)
     ).astype(np.uint8)
+    if memory.middle:
+        # Middle tiers (ids 2+) are software compressed pools: first
+        # touch decompresses in place instead of copying out of PMEM.
+        # Two-tier snapshots never take this branch, so the classic
+        # restore stays bit-identical.
+        backing[placement > int(Tier.SLOW)] = int(Backing.COMPRESSED_POOL)
     vm = MicroVM(
         snapshot.n_pages,
         memory=memory,
@@ -451,13 +457,17 @@ def tiered_restore(
         # The per-tier page count is a numpy scan; only pay it when an
         # observation will consume it.
         n_slow = int((placement == int(Tier.SLOW)).sum())
-        _observe_restore(
-            result,
-            {
-                "slow": float(n_slow * config.PAGE_SIZE),
-                "fast": float((snapshot.n_pages - n_slow) * config.PAGE_SIZE),
-            },
-        )
+        tier_bytes = {
+            "slow": float(n_slow * config.PAGE_SIZE),
+            "fast": float((snapshot.n_pages - n_slow) * config.PAGE_SIZE),
+        }
+        if memory.middle:
+            n_mid = int((placement > int(Tier.SLOW)).sum())
+            tier_bytes["fast"] = float(
+                (snapshot.n_pages - n_slow - n_mid) * config.PAGE_SIZE
+            )
+            tier_bytes["compressed"] = float(n_mid * config.PAGE_SIZE)
+        _observe_restore(result, tier_bytes)
     return result
 
 

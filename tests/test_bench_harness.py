@@ -198,14 +198,52 @@ class TestRegressionGate:
         baseline = {"a": 1.0, "b": 1.0}
         assert compare_to_baseline(report, baseline, names=["b"]) == []
 
+    def test_checked_name_absent_from_run_fails_clearly(self):
+        # Regression: gating a kernel the run never produced used to be
+        # silently skipped; it must fail with a readable message whose
+        # "name:" prefix survives __main__'s named-failure filter.
+        failures = compare_to_baseline(
+            self._report(1.0), {"a": 1.0, "ghost": 1.0}, names=["ghost"]
+        )
+        assert len(failures) == 1
+        assert failures[0].startswith("ghost:")
+        assert "not produced by this run" in failures[0]
+
+    def test_run_kernel_missing_from_baseline_fails_clearly(self):
+        # Regression: a bare check used to silently skip kernels the
+        # baseline JSON lacks, letting brand-new kernels drift ungated.
+        failures = compare_to_baseline(self._report(1.0), {})
+        assert len(failures) == 1
+        assert failures[0].startswith("a:")
+        assert "regenerate the baseline" in failures[0]
+
+    def test_named_kernel_missing_from_baseline_fails(self):
+        failures = compare_to_baseline(self._report(1.0), {}, names=["a"])
+        assert len(failures) == 1
+        assert "no baseline median" in failures[0]
+
+    def test_load_baseline_malformed_entry_raises_config_error(self, tmp_path):
+        # Regression: a benchmarks entry without wall_s.median used to
+        # escape as a bare KeyError from deep inside load_baseline.
+        path = tmp_path / "malformed.json"
+        path.write_text(
+            json.dumps(
+                {"schema": SCHEMA_VERSION, "benchmarks": {"a": {"ops": 1}}}
+            )
+        )
+        with pytest.raises(ConfigError, match="malformed"):
+            load_baseline(path)
+
     def test_gated_name_without_baseline_fails_loudly(self):
         # A gate on a benchmark nobody recorded a baseline for must not
         # silently pass — that is how regressions sneak into CI.
         failures = compare_to_baseline(self._report(1.0), {}, names=["a"])
         assert failures and "no baseline" in failures[0]
 
-    def test_missing_baseline_without_gate_is_ignored(self):
-        assert compare_to_baseline(self._report(1.0), {}) == []
+    def test_missing_baseline_without_gate_now_fails(self):
+        # Inverted by the mismatch fix: see
+        # test_run_kernel_missing_from_baseline_fails_clearly.
+        assert compare_to_baseline(self._report(1.0), {}) != []
 
     def test_invalid_max_regression(self):
         with pytest.raises(ConfigError):

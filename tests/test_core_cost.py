@@ -6,9 +6,32 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.cost import CostPoint, memory_cost, normalized_cost
-from repro.errors import AnalysisError
-from repro.memsim.tiers import DEFAULT_MEMORY_SYSTEM
+from repro.core.cost import (
+    CostPoint,
+    memory_cost,
+    normalized_cost,
+    normalized_cost_tiers,
+)
+from repro.errors import AnalysisError, ConfigError
+from repro.memsim.compressed import LZ4_POINT, compressed_memory_system
+from repro.memsim.tiers import (
+    DEFAULT_MEMORY_SYSTEM,
+    DRAM_SPEC,
+    MemorySystem,
+    TierSpec,
+)
+
+
+def _free_slow_system() -> MemorySystem:
+    free = TierSpec(
+        name="free",
+        load_latency_s=1e-6,
+        store_latency_s=1e-6,
+        bandwidth_bps=1e9,
+        access_bytes=64,
+        cost_per_mb=0.0,
+    )
+    return MemorySystem(fast=DRAM_SPEC, slow=free)
 
 
 class TestMemoryCost:
@@ -75,6 +98,63 @@ class TestNormalizedCost:
     def test_monotone_in_fast_fraction(self, fast):
         if fast <= 0.99:
             assert normalized_cost(1.0, fast) <= normalized_cost(1.0, fast + 0.01) + 1e-12
+
+
+class TestZeroPriceLimit:
+    """Regression: a zero-cost tier used to blow up ``cost_ratio``."""
+
+    def test_free_slow_tier_takes_the_limit_not_the_ratio(self):
+        # Pre-fix this raised ZeroDivisionError via cost_ratio; the
+        # limit of Equation 1 as Cost_slow -> 0 is SDown * f_fast.
+        memory = _free_slow_system()
+        assert normalized_cost(1.2, 0.5, memory) == pytest.approx(1.2 * 0.5)
+        assert normalized_cost(1.0, 0.0, memory) == 0.0
+
+    def test_free_fast_tier_raises_typed_error(self):
+        free = TierSpec(
+            name="free-fast",
+            load_latency_s=1e-8,
+            store_latency_s=1e-8,
+            bandwidth_bps=1e9,
+            access_bytes=64,
+            cost_per_mb=0.0,
+        )
+        memory = MemorySystem(fast=free, slow=free)
+        with pytest.raises(ConfigError, match="free"):
+            normalized_cost(1.0, 0.5, memory)
+
+    def test_cost_ratio_still_raises_typed_error(self):
+        with pytest.raises(ConfigError):
+            _free_slow_system().cost_ratio
+
+
+class TestNormalizedCostTiers:
+    def test_two_tier_degenerate_matches_normalized_cost(self):
+        for sd, fast in [(1.0, 1.0), (1.1, 0.6), (1.3, 0.0)]:
+            assert normalized_cost_tiers(sd, [fast, 1.0 - fast]) == (
+                normalized_cost(sd, fast)
+            )
+
+    def test_three_tier_chain_prices(self):
+        memory = compressed_memory_system((LZ4_POINT,))
+        cost = normalized_cost_tiers(1.0, [0.5, 0.25, 0.25], memory)
+        assert cost == pytest.approx(0.5 + 0.25 / LZ4_POINT.ratio + 0.25 / 2.5)
+
+    def test_free_tier_contributes_nothing(self):
+        memory = _free_slow_system()
+        assert normalized_cost_tiers(1.0, [0.5, 0.5], memory) == (
+            pytest.approx(0.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            normalized_cost_tiers(0.9, [1.0, 0.0])
+        with pytest.raises(AnalysisError):
+            normalized_cost_tiers(1.0, [1.0])
+        with pytest.raises(AnalysisError):
+            normalized_cost_tiers(1.0, [0.7, 0.7])
+        with pytest.raises(AnalysisError):
+            normalized_cost_tiers(1.0, [1.5, -0.5])
 
 
 class TestCostPoint:

@@ -80,6 +80,47 @@ class TestTieredBilling:
         )
         assert slowed.savings_fraction < fast.savings_fraction
 
+    def test_tier_fractions_two_tier_matches_slow_fraction(self):
+        classic = bill_invocation(
+            guest_mb=256, duration_s=0.1, slow_fraction=0.7, slowdown=1.1
+        )
+        chained = bill_invocation(
+            guest_mb=256,
+            duration_s=0.1,
+            slow_fraction=0.7,
+            slowdown=1.1,
+            tier_fractions=(0.3, 0.7),
+        )
+        assert chained.tiered_cost == pytest.approx(classic.tiered_cost)
+
+    def test_tier_fractions_price_middle_tier(self):
+        from repro.memsim.compressed import LZ4_POINT, compressed_memory_system
+
+        memory = compressed_memory_system((LZ4_POINT,))
+        on_pmem = bill_invocation(
+            guest_mb=256, duration_s=0.1, slow_fraction=0.5,
+            memory=memory, tier_fractions=(0.5, 0.0, 0.5),
+        )
+        on_lz4 = bill_invocation(
+            guest_mb=256, duration_s=0.1, slow_fraction=0.5,
+            memory=memory, tier_fractions=(0.5, 0.5, 0.0),
+        )
+        # lz4-compressed DRAM (x2.5 ratio at DRAM price) prices exactly
+        # like PMEM at the paper's 2.5 cost ratio.
+        assert on_lz4.tiered_cost == pytest.approx(on_pmem.tiered_cost)
+
+    def test_tier_fractions_validated(self):
+        with pytest.raises(ConfigError):
+            bill_invocation(
+                guest_mb=128, duration_s=0.1, slow_fraction=0.0,
+                tier_fractions=(0.5, 0.2, 0.3),
+            )
+        with pytest.raises(ConfigError):
+            bill_invocation(
+                guest_mb=128, duration_s=0.1, slow_fraction=0.0,
+                tier_fractions=(0.5, 0.4),
+            )
+
     def test_invalid_inputs(self):
         with pytest.raises(ConfigError):
             bill_invocation(

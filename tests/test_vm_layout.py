@@ -27,8 +27,10 @@ class TestLayoutEntry:
         assert e.size_bytes == 5 * config.PAGE_SIZE
 
     def test_validation(self):
+        # Any non-negative tier id is a legal chain position now; only
+        # negatives (and non-ints) are malformed.
         with pytest.raises(LayoutError):
-            LayoutEntry(tier=7, file_offset_page=0, guest_start_page=0, n_pages=1)
+            LayoutEntry(tier=-1, file_offset_page=0, guest_start_page=0, n_pages=1)
         with pytest.raises(LayoutError):
             LayoutEntry(tier=0, file_offset_page=-1, guest_start_page=0, n_pages=1)
         with pytest.raises(LayoutError):
